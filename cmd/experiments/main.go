@@ -1,0 +1,105 @@
+// Command experiments regenerates the paper's tables and figures on the
+// dataset stand-ins. Each experiment id maps to one table/figure of the
+// evaluation section (see DESIGN.md §3):
+//
+//	experiments -exp table2                  # dataset inventory
+//	experiments -exp fig1 -scale 0.2         # MaxError vs query time, small graphs
+//	experiments -exp all -quick              # smoke-run everything
+//	experiments -exp fig5 -csv out.csv       # machine-readable series
+//
+// Absolute numbers depend on the host; the *shapes* — which method wins,
+// by what factor, where the budget cuts each method off — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/exactsim/exactsim/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Experiments(), ", ")+", or all")
+		quick   = flag.Bool("quick", false, "tiny smoke-run configuration")
+		scale   = flag.Float64("scale", 0, "dataset scale override in (0,1]")
+		queries = flag.Int("queries", 0, "query nodes per dataset (paper: 50)")
+		budget  = flag.Duration("budget", 0, "per-point time budget (default 2m; paper: 24h)")
+		gtEps   = flag.Float64("gteps", 0, "ground-truth epsilon for large graphs (default 1e-7)")
+		sf      = flag.Float64("samplefactor", 0, "sampling constant scale (default 1)")
+		kTop    = flag.Int("k", 0, "precision cutoff k (paper: 500)")
+		csvPath = flag.String("csv", "", "also write raw points as CSV")
+		seed    = flag.Uint64("seed", 0, "seed override")
+	)
+	flag.Parse()
+
+	cfg := harness.Default()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *budget > 0 {
+		cfg.TimeBudget = *budget
+	}
+	if *gtEps > 0 {
+		cfg.GroundTruthEps = *gtEps
+	}
+	if *sf > 0 {
+		cfg.SampleFactor = *sf
+	}
+	if *kTop > 0 {
+		cfg.K = *kTop
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Out = os.Stderr
+
+	runner := harness.NewRunner(cfg)
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = harness.Experiments()
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	start := time.Now()
+	for _, id := range ids {
+		rep, err := runner.Run(id)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if err := rep.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if csvFile != nil {
+			if err := rep.WriteCSV(csvFile); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

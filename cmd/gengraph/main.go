@@ -1,0 +1,114 @@
+// Command gengraph emits synthetic graphs: either the Table-2 dataset
+// stand-ins or parameterized generative models, in edge-list or binary
+// format.
+//
+// Usage:
+//
+//	gengraph -dataset TW -scale 0.1 -out tw.bin
+//	gengraph -model ba -n 100000 -k 4 -out graph.txt -format edgelist
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/internal/graph"
+)
+
+func main() {
+	var (
+		datasetKey = flag.String("dataset", "", "Table-2 dataset key")
+		scale      = flag.Float64("scale", 1.0, "dataset scale in (0,1]")
+		model      = flag.String("model", "", "ba | dsf | rmat (alternative to -dataset)")
+		n          = flag.Int("n", 10000, "node count (model mode)")
+		m          = flag.Int("m", 0, "edge count (dsf/rmat; 0 = 10n)")
+		k          = flag.Int("k", 4, "attachment degree (ba)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		out        = flag.String("out", "", "output path (default stdout, edgelist only)")
+		format     = flag.String("format", "", "edgelist | binary (default by extension: .bin → binary)")
+	)
+	flag.Parse()
+
+	g, err := build(*datasetKey, *scale, *model, *n, *m, *k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	stats := exactsim.Stats(g)
+	fmt.Fprintf(os.Stderr, "generated n=%d m=%d max-in-degree=%d\n",
+		stats.N, stats.M, stats.MaxInDegree)
+
+	if err := emit(g, *out, *format); err != nil {
+		fatal(err)
+	}
+}
+
+func build(key string, scale float64, model string, n, m, k int, seed uint64) (*exactsim.Graph, error) {
+	switch {
+	case key != "" && model != "":
+		return nil, fmt.Errorf("use either -dataset or -model, not both")
+	case key != "":
+		return exactsim.GenerateDataset(key, scale)
+	case model == "ba":
+		return exactsim.GenerateBarabasiAlbert(n, k, seed), nil
+	case model == "dsf":
+		if m == 0 {
+			m = 10 * n
+		}
+		return exactsim.GenerateDirectedScaleFree(n, m, seed), nil
+	case model == "rmat":
+		scalePow := 4
+		for 1<<scalePow < n {
+			scalePow++
+		}
+		if m == 0 {
+			m = 10 * (1 << scalePow)
+		}
+		return exactsim.GenerateRMAT(scalePow, m, seed), nil
+	default:
+		return nil, fmt.Errorf("one of -dataset or -model {ba,dsf,rmat} is required")
+	}
+}
+
+func emit(g *exactsim.Graph, out, format string) error {
+	if format == "" {
+		if len(out) > 4 && out[len(out)-4:] == ".bin" {
+			format = "binary"
+		} else {
+			format = "edgelist"
+		}
+	}
+	switch format {
+	case "binary":
+		if out == "" {
+			return fmt.Errorf("binary output requires -out")
+		}
+		return exactsim.SaveBinary(out, g)
+	case "edgelist":
+		if out == "" {
+			w := bufio.NewWriter(os.Stdout)
+			if err := graph.WriteEdgeList(w, g); err != nil {
+				return err
+			}
+			return w.Flush()
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := graph.WriteEdgeList(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

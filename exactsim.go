@@ -1,0 +1,236 @@
+// Package exactsim is a Go implementation of ExactSim — "Exact
+// Single-Source SimRank Computation on Large Graphs" (Wang, Wei, Yuan, Du,
+// Wen; SIGMOD 2020) — together with every baseline and evaluation tool the
+// paper's experimental study uses.
+//
+// SimRank (Jeh & Widom 2002) scores the structural similarity of two nodes
+// by the recursive intuition that "two pages are similar if they are
+// referenced by similar pages". ExactSim is the first algorithm that
+// answers single-source SimRank queries on large graphs with an additive
+// error of ε = 10⁻⁷ — float-precision ground truth — with high
+// probability, in O(log n/ε² + m·log(1/ε)) time.
+//
+// # Quick start
+//
+//	g, _ := exactsim.GenerateDataset("GQ", 1.0) // or LoadEdgeList(...)
+//	eng, _ := exactsim.New(g, exactsim.Options{Epsilon: 1e-6, Optimized: true})
+//	res, _ := eng.SingleSource(42)   // res.Scores[j] = S(42, j) ± ε
+//	top, _, _ := eng.TopK(42, 10)    // ten most similar nodes
+//
+// # Packages
+//
+// The root package is a facade over the internal implementation:
+// internal/core holds the ExactSim algorithm, internal/{mc, parsim,
+// lineariz, prsim, powermethod} the baselines, internal/eval the paper's
+// metrics and pooling protocol, internal/dataset the Table-2 dataset
+// stand-ins, and internal/harness the per-figure experiment drivers (see
+// cmd/experiments and DESIGN.md).
+package exactsim
+
+import (
+	"io"
+
+	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/dataset"
+	"github.com/exactsim/exactsim/internal/eval"
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/lineariz"
+	"github.com/exactsim/exactsim/internal/mc"
+	"github.com/exactsim/exactsim/internal/parsim"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/probesim"
+	"github.com/exactsim/exactsim/internal/prsim"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// Core graph types.
+type (
+	// Graph is the immutable CSR directed graph all algorithms run on.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and freezes them into a Graph.
+	GraphBuilder = graph.Builder
+	// DynamicGraph supports edge updates with cheap CSR snapshots; the
+	// index-free methods (ExactSim, ParSim, ProbeSim) answer exactly on
+	// every snapshot with no index maintenance.
+	DynamicGraph = graph.DynamicGraph
+	// NodeID identifies a vertex (dense 0-based int32 ids).
+	NodeID = graph.NodeID
+	// GraphStats summarizes degree structure.
+	GraphStats = graph.Stats
+	// Entry pairs a node with a similarity score (top-k results).
+	Entry = sparse.Entry
+)
+
+// ExactSim types.
+type (
+	// Options configures an ExactSim engine; see the field docs in
+	// internal/core for the error/optimization knobs.
+	Options = core.Options
+	// Engine answers single-source and top-k SimRank queries.
+	Engine = core.Engine
+	// Result carries the score vector plus cost accounting.
+	Result = core.Result
+)
+
+// Baseline types re-exported for head-to-head evaluation.
+type (
+	// MCParams configures the Monte-Carlo walk-index baseline.
+	MCParams = mc.Params
+	// MCIndex is the Fogaras–Rácz walk-fingerprint index.
+	MCIndex = mc.Index
+	// ParSimParams configures the D=(1−c)I iterative baseline.
+	ParSimParams = parsim.Params
+	// ParSimEngine answers ParSim queries.
+	ParSimEngine = parsim.Engine
+	// LinearizationParams configures the Linearization baseline.
+	LinearizationParams = lineariz.Params
+	// LinearizationIndex holds Linearization's estimated diagonal.
+	LinearizationIndex = lineariz.Index
+	// PRSimParams configures the PRSim hub-index baseline.
+	PRSimParams = prsim.Params
+	// PRSimIndex is PRSim's hub index.
+	PRSimIndex = prsim.Index
+	// ProbeSimParams configures the index-free ProbeSim baseline
+	// (related work §2.1; an extension beyond the paper's figures).
+	ProbeSimParams = probesim.Params
+	// ProbeSimEngine answers ProbeSim queries.
+	ProbeSimEngine = probesim.Engine
+	// SimRankMatrix is a dense all-pairs matrix from the power method.
+	SimRankMatrix = powermethod.Matrix
+	// Dataset describes one Table-2 dataset stand-in.
+	Dataset = dataset.Spec
+	// PoolEntry and PoolResult belong to the §2 pooling protocol.
+	PoolEntry = eval.PoolEntry
+	// PoolResult reports pooled precision per algorithm.
+	PoolResult = eval.PoolResult
+)
+
+// Re-exported constants.
+const (
+	// DefaultC is the paper's decay factor, 0.6.
+	DefaultC = core.DefaultC
+	// ExactEpsilon is ε_min = 10⁻⁷, the float-precision exactness target.
+	ExactEpsilon = core.ExactEpsilon
+)
+
+// New builds an ExactSim engine for g.
+func New(g *Graph, opt Options) (*Engine, error) { return core.New(g, opt) }
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewDynamicGraph returns an empty dynamic graph with n nodes.
+func NewDynamicGraph(n int) *DynamicGraph { return graph.NewDynamic(n) }
+
+// DynamicFrom initializes a dynamic graph from an existing snapshot.
+func DynamicFrom(g *Graph) *DynamicGraph { return graph.DynamicFrom(g) }
+
+// LoadEdgeList reads a SNAP-style edge-list file.
+func LoadEdgeList(path string, undirected bool) (*Graph, error) {
+	return graph.LoadEdgeList(path, undirected)
+}
+
+// ReadEdgeList parses a SNAP-style edge list from a reader.
+func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, undirected)
+}
+
+// SaveBinary / LoadBinary use the repository's fast binary graph format.
+func SaveBinary(path string, g *Graph) error { return graph.SaveBinary(path, g) }
+
+// LoadBinary reads a graph written by SaveBinary.
+func LoadBinary(path string) (*Graph, error) { return graph.LoadBinary(path) }
+
+// Stats computes degree statistics for g.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// Datasets returns the Table-2 registry (all eight stand-ins).
+func Datasets() []Dataset { return dataset.All() }
+
+// GenerateDataset generates the stand-in for a Table-2 key ("GQ", "HT",
+// "WV", "HP", "DB", "IC", "IT", "TW") at the given scale in (0,1].
+func GenerateDataset(key string, scale float64) (*Graph, error) {
+	spec, err := dataset.ByKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(scale), nil
+}
+
+// Generators for custom experiments.
+
+// GenerateBarabasiAlbert builds an undirected preferential-attachment graph.
+func GenerateBarabasiAlbert(n, k int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, k, seed)
+}
+
+// GenerateDirectedScaleFree builds a directed power-law graph.
+func GenerateDirectedScaleFree(n, m int, seed uint64) *Graph {
+	return gen.DirectedScaleFree(n, m, 0.15, 0.70, 0.15, 1.0, 1.0, seed)
+}
+
+// GenerateRMAT builds a web-crawl-like Kronecker graph with 2^scale nodes.
+func GenerateRMAT(scale, m int, seed uint64) *Graph {
+	return gen.RMAT(scale, m, 0.57, 0.19, 0.19, 0.05, seed)
+}
+
+// Baselines.
+
+// BuildMCIndex preprocesses the Monte-Carlo walk index.
+func BuildMCIndex(g *Graph, p MCParams) *MCIndex { return mc.Build(g, p) }
+
+// NewParSim returns the D=(1−c)I iterative baseline.
+func NewParSim(g *Graph, p ParSimParams) *ParSimEngine { return parsim.New(g, p) }
+
+// BuildLinearization preprocesses the Linearization baseline (the
+// O(n·log n/ε²) diagonal estimation the paper criticizes).
+func BuildLinearization(g *Graph, p LinearizationParams) *LinearizationIndex {
+	return lineariz.Build(g, p)
+}
+
+// BuildPRSim preprocesses the PRSim hub index.
+func BuildPRSim(g *Graph, p PRSimParams) *PRSimIndex { return prsim.Build(g, p) }
+
+// NewProbeSim returns the index-free ProbeSim baseline.
+func NewProbeSim(g *Graph, p ProbeSimParams) *ProbeSimEngine { return probesim.New(g, p) }
+
+// PowerMethod computes the exact all-pairs SimRank matrix (O(n²) memory —
+// small graphs only). L ≤ 0 picks enough iterations for ~1e-9 residual.
+func PowerMethod(g *Graph, c float64, L int) *SimRankMatrix {
+	return powermethod.Compute(g, powermethod.Options{C: c, L: L})
+}
+
+// Evaluation metrics (paper §4).
+
+// MaxError is max_j |got(j) − truth(j)|.
+func MaxError(got, truth []float64) float64 { return eval.MaxError(got, truth) }
+
+// AvgError is the mean absolute error.
+func AvgError(got, truth []float64) float64 { return eval.AvgError(got, truth) }
+
+// PrecisionAtK scores an approximate top-k against the true scores.
+func PrecisionAtK(approx, truth []float64, k int, source NodeID) float64 {
+	return eval.PrecisionAtK(approx, truth, k, source)
+}
+
+// NDCGAtK scores an approximate ranking by discounted cumulative gain.
+func NDCGAtK(approx, truth []float64, k int, source NodeID) float64 {
+	return eval.NDCGAtK(approx, truth, k, source)
+}
+
+// KendallTauAtK measures rank correlation over the true top-k set.
+func KendallTauAtK(approx, truth []float64, k int, source NodeID) float64 {
+	return eval.KendallTauAtK(approx, truth, k, source)
+}
+
+// TopKOf extracts the k best entries of a score vector, excluding source.
+func TopKOf(scores []float64, k int, source NodeID) []Entry {
+	return sparse.TopK(scores, k, source)
+}
+
+// Pool runs the paper's §2 pooling protocol over competing top-k results.
+func Pool(g *Graph, c float64, source NodeID, k int, entries []PoolEntry,
+	samples int, seed uint64) PoolResult {
+	return eval.Pool(g, c, source, k, entries, samples, seed)
+}

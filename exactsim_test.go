@@ -1,0 +1,150 @@
+package exactsim_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way README's quick start
+// does: generate, query, evaluate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(300, 3, 7)
+	truth := exactsim.PowerMethod(g, exactsim.DefaultC, 40)
+
+	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-3, Optimized: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.SingleSource(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := exactsim.MaxError(res.Scores, truth.Row(5)); e > 1e-3 {
+		t.Fatalf("MaxError %g above configured epsilon", e)
+	}
+	if p := exactsim.PrecisionAtK(res.Scores, truth.Row(5), 20, 5); p < 0.95 {
+		t.Fatalf("Precision@20 = %g", p)
+	}
+	top, _, err := eng.TopK(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("TopK returned %d entries", len(top))
+	}
+}
+
+func TestDatasetAccess(t *testing.T) {
+	if len(exactsim.Datasets()) != 8 {
+		t.Fatal("dataset registry incomplete")
+	}
+	g, err := exactsim.GenerateDataset("GQ", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 || g.M() == 0 {
+		t.Fatal("empty stand-in")
+	}
+	if _, err := exactsim.GenerateDataset("XX", 1); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestGraphIO(t *testing.T) {
+	g, err := exactsim.ReadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.bin")
+	if err := exactsim.SaveBinary(bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := exactsim.LoadBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("binary round trip mismatch")
+	}
+	stats := exactsim.Stats(g2)
+	if stats.N != 3 || stats.M != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestLoadEdgeListFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("# test\n0 1\n1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := exactsim.LoadEdgeList(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(120, 3, 3)
+	truth := exactsim.PowerMethod(g, exactsim.DefaultC, 40)
+	src := exactsim.NodeID(4)
+
+	mcIdx := exactsim.BuildMCIndex(g, exactsim.MCParams{C: 0.6, L: 20, R: 400, Seed: 1})
+	ps := exactsim.NewParSim(g, exactsim.ParSimParams{C: 0.6, L: 30})
+	lin := exactsim.BuildLinearization(g, exactsim.LinearizationParams{C: 0.6, Eps: 0.05, Seed: 2})
+	pr := exactsim.BuildPRSim(g, exactsim.PRSimParams{C: 0.6, Eps: 0.05, Seed: 3})
+
+	for name, scores := range map[string][]float64{
+		"mc":     mcIdx.SingleSource(src),
+		"parsim": ps.SingleSource(src),
+		"linear": lin.SingleSource(src),
+		"prsim":  pr.SingleSource(src),
+	} {
+		if len(scores) != g.N() {
+			t.Fatalf("%s returned %d scores", name, len(scores))
+		}
+		e := exactsim.MaxError(scores, truth.Row(int(src)))
+		if math.IsNaN(e) || e > 0.5 {
+			t.Fatalf("%s wildly wrong: MaxError %g", name, e)
+		}
+	}
+}
+
+func TestPoolThroughFacade(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(80, 3, 9)
+	eng, _ := exactsim.New(g, exactsim.Options{Epsilon: 1e-3, Seed: 4, Optimized: true})
+	top, _, err := eng.TopK(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := exactsim.Pool(g, exactsim.DefaultC, 2, 5,
+		[]exactsim.PoolEntry{{Algorithm: "exactsim", TopK: top}}, 2000, 5)
+	if res.Precision["exactsim"] < 0.6 {
+		t.Fatalf("pooled precision %g for the exact method", res.Precision["exactsim"])
+	}
+}
+
+func TestTopKOfMatchesEngineTopK(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(60, 3, 11)
+	eng, _ := exactsim.New(g, exactsim.Options{Epsilon: 1e-3, Seed: 6, Optimized: true})
+	res, err := eng.SingleSource(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := exactsim.TopKOf(res.Scores, 7, 1)
+	b, _, _ := eng.TopK(1, 7)
+	for i := range a {
+		if a[i].Idx != b[i].Idx {
+			t.Fatalf("TopKOf and Engine.TopK disagree at %d", i)
+		}
+	}
+}

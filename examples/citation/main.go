@@ -1,0 +1,111 @@
+// Citation demonstrates the application scenario that motivates SimRank in
+// the paper's introduction: "two pages are similar if they are referenced
+// by similar pages". On a DBLP-style co-authorship network we use exact
+// single-source SimRank to discover an author's *peers* — authors embedded
+// in the same collaboration circles — and validate that the ranking is
+// meaningful by measuring how strongly each peer's collaborator set
+// overlaps the query author's (a quantity SimRank never sees directly).
+//
+//	go run ./examples/citation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+func main() {
+	g, err := exactsim.GenerateDataset("DB", 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DBLP-style network: n=%d m=%d\n", g.N(), g.M())
+
+	author := pickBusyAuthor(g)
+	fmt.Printf("query author: node %d with %d collaborators\n\n",
+		author, g.OutDegree(author))
+
+	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-4, Optimized: true, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.SingleSource(author)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 15
+	peers := exactsim.TopKOf(res.Scores, k, author)
+	fmt.Printf("top-%d structural peers by exact SimRank:\n", k)
+	fmt.Println("rank  node      SimRank    shared-collab  jaccard")
+	var peerJaccard float64
+	for rank, p := range peers {
+		shared, jac := overlap(g, author, p.Idx)
+		peerJaccard += jac
+		fmt.Printf("%4d  %-8d  %.6f   %13d  %.3f\n", rank+1, p.Idx, p.Val, shared, jac)
+	}
+	peerJaccard /= float64(len(peers))
+
+	// Baseline: the average collaborator overlap of random non-peers.
+	var randJaccard float64
+	count := 0
+	for v := int32(1); count < 200; v += 37 {
+		u := v % int32(g.N())
+		if u != author {
+			_, jac := overlap(g, author, u)
+			randJaccard += jac
+			count++
+		}
+	}
+	randJaccard /= float64(count)
+
+	fmt.Printf("\nmean collaborator Jaccard: peers %.3f vs random nodes %.4f (%.0f×)\n",
+		peerJaccard, randJaccard, peerJaccard/maxf(randJaccard, 1e-9))
+	fmt.Println("SimRank found authors in the same collaboration circles without")
+	fmt.Println("ever being told about neighborhood overlap — it only follows the")
+	fmt.Println("recursive `similar if referenced by similar' definition.")
+}
+
+// overlap reports |N(a)∩N(b)| and the Jaccard coefficient of the two
+// collaborator sets.
+func overlap(g *exactsim.Graph, a, b exactsim.NodeID) (int, float64) {
+	na := g.OutNeighbors(a)
+	nb := g.OutNeighbors(b)
+	set := make(map[int32]bool, len(na))
+	for _, v := range na {
+		set[v] = true
+	}
+	shared := 0
+	for _, v := range nb {
+		if set[v] {
+			shared++
+		}
+	}
+	union := len(na) + len(nb) - shared
+	if union == 0 {
+		return 0, 0
+	}
+	return shared, float64(shared) / float64(union)
+}
+
+// pickBusyAuthor returns a node with 8–40 collaborators: enough structure
+// for peers to exist, not a global hub.
+func pickBusyAuthor(g *exactsim.Graph) exactsim.NodeID {
+	best, bestDeg := exactsim.NodeID(0), 0
+	for v := 0; v < g.N(); v++ {
+		d := g.OutDegree(int32(v))
+		if d >= 8 && d <= 40 && d > bestDeg {
+			best, bestDeg = int32(v), d
+		}
+	}
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+// Groundtruth reproduces the paper's central workflow in miniature: use
+// ExactSim to produce single-source ground truth, then measure the REAL
+// error of approximate SimRank algorithms against it — the measurement
+// that was impossible before ExactSim existed (paper §1).
+//
+//	go run ./examples/groundtruth
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+func main() {
+	// The ca-GrQc stand-in at 20% scale keeps this example quick.
+	g, err := exactsim.GenerateDataset("GQ", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset GQ stand-in: n=%d m=%d\n", g.N(), g.M())
+
+	const source = 7
+
+	// Step 1: ground truth. On a graph this size the power method is
+	// still feasible, so we can also verify ExactSim's claim directly.
+	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-4, Optimized: true, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := eng.SingleSource(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ExactSim(eps=1e-4) ground truth in %v\n", time.Since(start).Round(time.Millisecond))
+
+	pm := exactsim.PowerMethod(g, exactsim.DefaultC, 0)
+	fmt.Printf("ExactSim vs PowerMethod MaxError: %.3g (must be ≤ 1e-4)\n\n",
+		exactsim.MaxError(res.Scores, pm.Row(source)))
+	truth := res.Scores
+
+	// Step 2: evaluate approximate algorithms against the ground truth.
+	type entry struct {
+		name   string
+		scores []float64
+		took   time.Duration
+	}
+	var entries []entry
+	timeIt := func(name string, f func() []float64) {
+		t0 := time.Now()
+		scores := f()
+		entries = append(entries, entry{name, scores, time.Since(t0)})
+	}
+	timeIt("MC (L=10, r=100)", func() []float64 {
+		return exactsim.BuildMCIndex(g,
+			exactsim.MCParams{C: 0.6, L: 10, R: 100, Seed: 2}).SingleSource(source)
+	})
+	timeIt("MC (L=20, r=1000)", func() []float64 {
+		return exactsim.BuildMCIndex(g,
+			exactsim.MCParams{C: 0.6, L: 20, R: 1000, Seed: 3}).SingleSource(source)
+	})
+	timeIt("ParSim (L=50)", func() []float64 {
+		return exactsim.NewParSim(g,
+			exactsim.ParSimParams{C: 0.6, L: 50}).SingleSource(source)
+	})
+	timeIt("Linearization (eps=0.01)", func() []float64 {
+		return exactsim.BuildLinearization(g,
+			exactsim.LinearizationParams{C: 0.6, Eps: 0.01, Seed: 4}).SingleSource(source)
+	})
+	timeIt("PRSim (eps=0.01)", func() []float64 {
+		return exactsim.BuildPRSim(g,
+			exactsim.PRSimParams{C: 0.6, Eps: 0.01, Seed: 5}).SingleSource(source)
+	})
+
+	fmt.Println("method                      time        MaxError   Precision@50")
+	for _, e := range entries {
+		fmt.Printf("%-26s  %-10v  %.3e  %.3f\n",
+			e.name, e.took.Round(time.Millisecond),
+			exactsim.MaxError(e.scores, truth),
+			exactsim.PrecisionAtK(e.scores, truth, 50, source))
+	}
+	fmt.Println("\nNote how ParSim's MaxError has a bias floor no amount of")
+	fmt.Println("iterations fixes, while its top-k precision stays high — the")
+	fmt.Println("paper's Figure 1 vs Figure 2 contrast.")
+}

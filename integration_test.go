@@ -1,0 +1,125 @@
+package exactsim_test
+
+import (
+	"math"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// TestIntegrationFullStudy replays the paper's study end-to-end on one
+// medium graph: power-method ground truth, every method queried, the
+// paper's qualitative findings asserted. This is the repository's
+// spot-check that all the pieces cohere through the public API.
+func TestIntegrationFullStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	g, err := exactsim.GenerateDataset("GQ", 0.08) // ~420 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exactsim.PowerMethod(g, exactsim.DefaultC, 0)
+	src := exactsim.NodeID(11)
+	truthRow := truth.Row(int(src))
+
+	// ExactSim at eps=1e-4 must beat every approximate method on MaxError.
+	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-4, Optimized: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.SingleSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactErr := exactsim.MaxError(res.Scores, truthRow)
+	if exactErr > 1e-4 {
+		t.Fatalf("ExactSim error %g above configured eps", exactErr)
+	}
+
+	methods := map[string][]float64{
+		"mc": exactsim.BuildMCIndex(g,
+			exactsim.MCParams{C: 0.6, L: 15, R: 300, Seed: 3}).SingleSource(src),
+		"parsim": exactsim.NewParSim(g,
+			exactsim.ParSimParams{C: 0.6, L: 40}).SingleSource(src),
+		"linearization": exactsim.BuildLinearization(g,
+			exactsim.LinearizationParams{C: 0.6, Eps: 0.02, Seed: 4}).SingleSource(src),
+		"prsim": exactsim.BuildPRSim(g,
+			exactsim.PRSimParams{C: 0.6, Eps: 0.02, Seed: 5}).SingleSource(src),
+		"probesim": exactsim.NewProbeSim(g,
+			exactsim.ProbeSimParams{C: 0.6, Eps: 0.02, Seed: 6}).SingleSource(src),
+	}
+	for name, scores := range methods {
+		err := exactsim.MaxError(scores, truthRow)
+		if err <= exactErr {
+			t.Fatalf("%s error %g should exceed ExactSim's %g", name, err, exactErr)
+		}
+		if err > 0.2 {
+			t.Fatalf("%s error %g implausibly large", name, err)
+		}
+		// ranking metrics must be self-consistent
+		p := exactsim.PrecisionAtK(scores, truthRow, 20, src)
+		n := exactsim.NDCGAtK(scores, truthRow, 20, src)
+		if p < 0 || p > 1 || n < 0 || n > 1+1e-9 {
+			t.Fatalf("%s: precision %g / ndcg %g out of range", name, p, n)
+		}
+	}
+
+	// ParSim bias floor: error identical for L=40 and L=400.
+	ps40 := methods["parsim"]
+	ps400 := exactsim.NewParSim(g, exactsim.ParSimParams{C: 0.6, L: 400}).SingleSource(src)
+	e40 := exactsim.MaxError(ps40, truthRow)
+	e400 := exactsim.MaxError(ps400, truthRow)
+	if math.Abs(e40-e400) > 1e-6 {
+		t.Fatalf("ParSim floor not flat: %g vs %g", e40, e400)
+	}
+	if e400 < 1e-4 {
+		t.Fatalf("ParSim bias floor %g suspiciously low", e400)
+	}
+
+	// The ranking metrics should prefer the exact result.
+	if tau := exactsim.KendallTauAtK(res.Scores, truthRow, 50, src); tau < 0.95 {
+		t.Fatalf("ExactSim tau@50 = %g", tau)
+	}
+
+	// Pooling must rank ExactSim at the top among all participants.
+	var entries []exactsim.PoolEntry
+	entries = append(entries, exactsim.PoolEntry{
+		Algorithm: "exactsim", TopK: exactsim.TopKOf(res.Scores, 25, src)})
+	for name, scores := range methods {
+		entries = append(entries, exactsim.PoolEntry{
+			Algorithm: name, TopK: exactsim.TopKOf(scores, 25, src)})
+	}
+	pool := exactsim.Pool(g, 0.6, src, 25, entries, 50000, 9)
+	for name, prec := range pool.Precision {
+		if prec > pool.Precision["exactsim"]+0.05 {
+			t.Fatalf("pooling ranked %s (%g) above exactsim (%g)",
+				name, prec, pool.Precision["exactsim"])
+		}
+	}
+
+	// Dynamic path: removing the source's edges must change its result.
+	dyn := exactsim.DynamicFrom(g)
+	removed := 0
+	for _, v := range g.OutNeighbors(src) {
+		if dyn.RemoveUndirected(src, v) {
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Fatal("source had no edges to remove")
+	}
+	eng2, err := exactsim.New(dyn.Snapshot(), exactsim.Options{Epsilon: 1e-3, Optimized: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng2.SingleSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range res2.Scores {
+		if exactsim.NodeID(j) != src && v > 1e-3 {
+			t.Fatalf("isolated source still similar to %d (%g)", j, v)
+		}
+	}
+}

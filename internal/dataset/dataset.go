@@ -1,0 +1,172 @@
+// Package dataset registers synthetic stand-ins for the eight datasets of
+// the paper's Table 2. The originals are SNAP/LAW downloads unavailable in
+// this offline environment; each stand-in is generated (internal/gen) with
+// a model chosen to match the original's class and degree structure:
+//
+//   - co-authorship graphs (GQ, HT, HP, DB) → undirected Barabási–Albert,
+//   - social/vote graphs (WV, TW)           → directed scale-free
+//     (Bollobás et al.),
+//   - web crawls (IC, IT)                   → R-MAT with web parameters
+//     (0.57, 0.19, 0.19, 0.05).
+//
+// Small graphs keep the paper's exact node counts (the power method must
+// remain feasible on them, as in the paper); large graphs are scaled down
+// to container size while preserving m/n. DESIGN.md §4 argues why this
+// preserves every phenomenon the evaluation measures. The Scale parameter
+// lets the harness shrink everything further for quick runs.
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+)
+
+// Class separates the paper's small graphs (power-method ground truth)
+// from the large ones (ExactSim@1e-7 ground truth).
+type Class int
+
+const (
+	// Small marks the four graphs of §4.1.
+	Small Class = iota
+	// Large marks the four graphs of §4.2.
+	Large
+)
+
+// Spec describes one dataset stand-in.
+type Spec struct {
+	Key      string // short key used by the harness and CLI (e.g. "GQ")
+	Name     string // the original's name (e.g. "ca-GrQc")
+	Directed bool
+	Class    Class
+	// OrigN and OrigM are the paper's Table 2 numbers.
+	OrigN, OrigM int
+	// StandInN is the default generated node count (scale 1.0).
+	StandInN int
+	build    func(n int, seed uint64) *graph.Graph
+}
+
+// Generate builds the stand-in at the given scale in (0,1]; scale 1 gives
+// StandInN nodes. Generation is deterministic per (Key, scale).
+func (s Spec) Generate(scale float64) *graph.Graph {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	n := int(float64(s.StandInN) * scale)
+	if n < 16 {
+		n = 16
+	}
+	return s.build(n, seedOf(s.Key))
+}
+
+func seedOf(key string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(key) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// ba builds an undirected Barabási–Albert stand-in with attachment k.
+func ba(k int) func(n int, seed uint64) *graph.Graph {
+	return func(n int, seed uint64) *graph.Graph {
+		return gen.BarabasiAlbert(n, k, seed)
+	}
+}
+
+// dsf builds a directed scale-free stand-in with edge density mPerN.
+func dsf(mPerN int) func(n int, seed uint64) *graph.Graph {
+	return func(n int, seed uint64) *graph.Graph {
+		return gen.DirectedScaleFree(n, mPerN*n, 0.15, 0.70, 0.15, 1.0, 1.0, seed)
+	}
+}
+
+// rmat builds a web-crawl stand-in; n is rounded up to a power of two.
+func rmat(mPerN int) func(n int, seed uint64) *graph.Graph {
+	return func(n int, seed uint64) *graph.Graph {
+		scale := 4
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(scale, mPerN*(1<<scale), 0.57, 0.19, 0.19, 0.05, seed)
+	}
+}
+
+var specs = []Spec{
+	// Small graphs: exact paper sizes (Table 2), densities to match m.
+	{Key: "GQ", Name: "ca-GrQc", Directed: false, Class: Small,
+		OrigN: 5242, OrigM: 28968, StandInN: 5242, build: ba(3)},
+	{Key: "HT", Name: "CA-HepTh", Directed: false, Class: Small,
+		OrigN: 9877, OrigM: 51946, StandInN: 9877, build: ba(3)},
+	{Key: "WV", Name: "Wikivote", Directed: true, Class: Small,
+		OrigN: 7115, OrigM: 103689, StandInN: 7115, build: dsf(15)},
+	{Key: "HP", Name: "CA-HepPh", Directed: false, Class: Small,
+		OrigN: 12008, OrigM: 236978, StandInN: 12008, build: ba(10)},
+	// Large graphs: scaled-down stand-ins with original m/n.
+	{Key: "DB", Name: "DBLP-Author", Directed: false, Class: Large,
+		OrigN: 5425963, OrigM: 17298032, StandInN: 100000, build: ba(2)},
+	{Key: "IC", Name: "IndoChina", Directed: true, Class: Large,
+		OrigN: 7414768, OrigM: 191606827, StandInN: 131072, build: rmat(26)},
+	{Key: "IT", Name: "It-2004", Directed: true, Class: Large,
+		OrigN: 41290682, OrigM: 1135718909, StandInN: 262144, build: rmat(27)},
+	{Key: "TW", Name: "Twitter", Directed: true, Class: Large,
+		OrigN: 41652230, OrigM: 1468364884, StandInN: 250000, build: dsf(35)},
+}
+
+// All returns every dataset spec in Table 2 order.
+func All() []Spec { return append([]Spec(nil), specs...) }
+
+// SmallSpecs returns the four small-graph specs.
+func SmallSpecs() []Spec { return filter(Small) }
+
+// LargeSpecs returns the four large-graph specs.
+func LargeSpecs() []Spec { return filter(Large) }
+
+func filter(c Class) []Spec {
+	var out []Spec
+	for _, s := range specs {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByKey finds a spec by its short key (case-sensitive).
+func ByKey(key string) (Spec, error) {
+	for _, s := range specs {
+		if s.Key == key {
+			return s, nil
+		}
+	}
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key
+	}
+	sort.Strings(keys)
+	return Spec{}, fmt.Errorf("dataset: unknown key %q (have %v)", key, keys)
+}
+
+// WriteTable2 renders the paper's Table 2 alongside the generated stand-in
+// sizes at the given scale.
+func WriteTable2(w io.Writer, scale float64) error {
+	if _, err := fmt.Fprintf(w, "%-4s %-12s %-10s %12s %14s %12s %14s\n",
+		"Key", "Data Set", "Type", "paper n", "paper m", "stand-in n", "stand-in m"); err != nil {
+		return err
+	}
+	for _, s := range specs {
+		g := s.Generate(scale)
+		typ := "undirected"
+		if s.Directed {
+			typ = "directed"
+		}
+		if _, err := fmt.Fprintf(w, "%-4s %-12s %-10s %12d %14d %12d %14d\n",
+			s.Key, s.Name, typ, s.OrigN, s.OrigM, g.N(), g.M()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

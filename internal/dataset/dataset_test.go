@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 8 {
+		t.Fatalf("expected 8 datasets, have %d", len(All()))
+	}
+	if len(SmallSpecs()) != 4 || len(LargeSpecs()) != 4 {
+		t.Fatalf("class split wrong: %d small, %d large",
+			len(SmallSpecs()), len(LargeSpecs()))
+	}
+}
+
+func TestByKey(t *testing.T) {
+	s, err := ByKey("GQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "ca-GrQc" {
+		t.Fatalf("GQ resolves to %q", s.Name)
+	}
+	if _, err := ByKey("nope"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestSmallStandInsMatchPaperSizes(t *testing.T) {
+	for _, s := range SmallSpecs() {
+		g := s.Generate(1)
+		if g.N() != s.OrigN && s.Key != "WV" {
+			// WV's directed model keeps n exactly too — all four must match
+			t.Fatalf("%s: stand-in n=%d, paper n=%d", s.Key, g.N(), s.OrigN)
+		}
+		// m within 2× of the paper's m (generative models are approximate)
+		if g.M() < s.OrigM/2 || g.M() > s.OrigM*2 {
+			t.Fatalf("%s: stand-in m=%d too far from paper m=%d", s.Key, g.M(), s.OrigM)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Key, err)
+		}
+	}
+}
+
+func TestUndirectedSpecsAreSymmetric(t *testing.T) {
+	for _, s := range All() {
+		if s.Directed {
+			continue
+		}
+		g := s.Generate(0.05)
+		for v := int32(0); v < int32(g.N()); v++ {
+			if g.InDegree(v) != g.OutDegree(v) {
+				t.Fatalf("%s: node %d asymmetric in undirected stand-in", s.Key, v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, key := range []string{"GQ", "WV", "IC"} {
+		s, _ := ByKey(key)
+		a := s.Generate(0.05)
+		b := s.Generate(0.05)
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%s: generation not deterministic", key)
+		}
+	}
+}
+
+func TestScaleShrinks(t *testing.T) {
+	s, _ := ByKey("DB")
+	full := s.Generate(0.2)
+	tiny := s.Generate(0.02)
+	if tiny.N() >= full.N() {
+		t.Fatalf("scale did not shrink: %d vs %d", tiny.N(), full.N())
+	}
+	// silly scales clamp to the floor
+	if g := s.Generate(-1); g.N() != s.StandInN {
+		t.Fatalf("negative scale should select full size, got n=%d", g.N())
+	}
+}
+
+func TestLargeDensityPreserved(t *testing.T) {
+	for _, s := range LargeSpecs() {
+		g := s.Generate(0.05)
+		origDensity := float64(s.OrigM) / float64(s.OrigN)
+		gotDensity := float64(g.M()) / float64(g.N())
+		if gotDensity < origDensity/3 || gotDensity > origDensity*3 {
+			t.Fatalf("%s: density %f vs original %f", s.Key, gotDensity, origDensity)
+		}
+	}
+}
+
+func TestWriteTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable2(&buf, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ca-GrQc", "Twitter", "It-2004", "directed", "undirected"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 9 {
+		t.Fatalf("Table 2 should have header + 8 rows:\n%s", out)
+	}
+}
+
+func TestSeedOfDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, s := range All() {
+		if prev, dup := seen[seedOf(s.Key)]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, s.Key)
+		}
+		seen[seedOf(s.Key)] = s.Key
+	}
+}

@@ -1,0 +1,369 @@
+// Package diag estimates the diagonal correction matrix D of the SimRank
+// linearization S = Σ_ℓ c^ℓ (P^ℓ)ᵀ D P^ℓ (paper eq. 3).
+//
+// D(k,k) = 1 − Pr[two √c-walks from v_k meet at some step ≥ 1], which lies
+// in [1−c, 1]. The package provides the paper's two estimators —
+//
+//   - Algorithm 2 (Estimator.Basic): the plain Bernoulli trial, fraction of
+//     walk pairs that never meet;
+//   - Algorithm 3 (Estimator.Improved): local deterministic exploitation of
+//     the first-meeting probabilities Z_ℓ(k) via the Lemma-4 recursion
+//     under an adaptive edge budget, plus hybrid non-stop/√c tail walks —
+//
+// an exact oracle for small graphs (ExactByIteration, pair-state value
+// iteration), and a deterministic parallel Batch driver used by ExactSim
+// and the Linearization baseline.
+package diag
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+	"github.com/exactsim/exactsim/internal/walk"
+)
+
+// maxDeterministicLevels caps Algorithm 3's deterministic exploitation
+// depth; beyond this depth c^ℓ has shrunk the tail far below any error
+// target we support, so deeper exploration would only burn budget.
+const maxDeterministicLevels = 64
+
+// Estimator estimates D(k,k) entries for one graph. It owns reusable
+// scratch, so one Estimator per worker amortizes allocations across the
+// (typically many) nodes whose D entries a query needs. Not safe for
+// concurrent use.
+type Estimator struct {
+	g    *graph.Graph
+	c    float64
+	w    *walk.Walker
+	acc  *sparse.Accumulator // level extension scratch
+	zacc *sparse.Accumulator // Z-recursion scratch
+}
+
+// NewEstimator returns an estimator with decay c and a deterministic seed.
+func NewEstimator(g *graph.Graph, c float64, seed uint64) *Estimator {
+	return &Estimator{
+		g:    g,
+		c:    c,
+		w:    walk.NewWalker(g, c, seed),
+		acc:  sparse.NewAccumulator(g.N()),
+		zacc: sparse.NewAccumulator(g.N()),
+	}
+}
+
+// Reseed resets the estimator's random stream, making the next estimate a
+// deterministic function of (graph, node, samples, seed) — the property
+// Batch uses to stay reproducible under parallel scheduling.
+func (e *Estimator) Reseed(seed uint64) { e.w.RNG().Reseed(seed) }
+
+// Basic is paper Algorithm 2: simulate `samples` independent pairs of
+// √c-walks from k and return the fraction that do NOT meet. Unbiased with
+// variance D(k,k)(1−D(k,k))/samples.
+func (e *Estimator) Basic(k graph.NodeID, samples int) float64 {
+	if samples <= 0 {
+		samples = 1
+	}
+	noMeet := 0
+	for s := 0; s < samples; s++ {
+		if e.w.PairNoMeet(k) {
+			noMeet++
+		}
+	}
+	return float64(noMeet) / float64(samples)
+}
+
+// ImprovedParams tunes Algorithm 3 beyond the paper's defaults.
+type ImprovedParams struct {
+	// Samples is the tail walk-pair count R(k).
+	Samples int
+	// TargetDepth, when positive, asks the deterministic phase to reach at
+	// least this level (budget permitting) and to stop there rather than
+	// spending the whole budget. ExactSim uses it to compensate sample
+	// capping: reaching depth ℓ* multiplies the tail variance by c^{2ℓ*}.
+	TargetDepth int
+	// EdgeBudget caps deterministic-exploration work. Zero selects the
+	// paper's 2·Samples/√c (the expected edge cost of plain sampling).
+	EdgeBudget int64
+}
+
+// Improved is paper Algorithm 3. Under the edge budget (default 2·R(k)/√c,
+// the expected edge work of the plain estimator) it deterministically
+// computes the first-meeting mass Σ_{ℓ≤ℓ(k)} Z_ℓ(k) via the Lemma-4
+// recursion, then estimates the tail Σ_{ℓ>ℓ(k)} Z_ℓ(k) with R(k) hybrid
+// walk pairs: ℓ(k) forced non-stop steps followed by ordinary √c-walks,
+// each meeting pair weighted c^{ℓ(k)}/R(k). Variance shrinks by c^{ℓ(k)}.
+func (e *Estimator) Improved(k graph.NodeID, samples int) float64 {
+	return e.ImprovedWith(k, ImprovedParams{Samples: samples})
+}
+
+// ImprovedWith runs Algorithm 3 with explicit exploration parameters.
+func (e *Estimator) ImprovedWith(k graph.NodeID, p ImprovedParams) float64 {
+	switch e.g.InDegree(k) {
+	case 0:
+		return 1
+	case 1:
+		return 1 - e.c
+	}
+	samples := p.Samples
+	if samples <= 0 {
+		samples = 1
+	}
+	budget := p.EdgeBudget
+	if budget <= 0 {
+		budget = int64(2 * float64(samples) / math.Sqrt(e.c))
+	}
+	maxDepth := p.TargetDepth
+	if maxDepth <= 0 || maxDepth > maxDeterministicLevels {
+		maxDepth = maxDeterministicLevels
+	}
+	lk, zSum := e.explore(k, budget, maxDepth)
+
+	dHat := 1 - zSum
+	cl := math.Pow(e.c, float64(lk))
+	inv := cl / float64(samples)
+	for s := 0; s < samples; s++ {
+		// With lk == 0 the prefix is empty and this is exactly Algorithm 2.
+		x, y, ok := e.w.NonStopPrefixPair(k, lk)
+		if !ok {
+			continue // dead end or met during prefix: zero contribution
+		}
+		if e.w.PairMeetsFrom(x, y) {
+			dHat -= inv
+		}
+	}
+	// Clamp to the feasible interval; stochastic noise can stray slightly.
+	if dHat < 1-e.c {
+		dHat = 1 - e.c
+	}
+	if dHat > 1 {
+		dHat = 1
+	}
+	return dHat
+}
+
+// sourceState tracks the non-stop walk distributions (Pᵀ)^a(q,·) of one
+// source q for a = 0..len(levels)-1.
+type sourceState struct {
+	levels []sparse.Vector
+}
+
+// exploreDeterministic runs Algorithm 3's deterministic phase with the
+// paper's default depth policy (budget-driven only).
+func (e *Estimator) exploreDeterministic(k graph.NodeID, budget int64) (int, float64) {
+	return e.explore(k, budget, maxDeterministicLevels)
+}
+
+// explore runs Algorithm 3's deterministic phase for node k and returns
+// the reached level ℓ(k) and Σ_{ℓ=1}^{ℓ(k)} Z_ℓ(k). It stops at maxDepth
+// even if budget remains.
+//
+// Invariant kept per outer level ℓ: before computing Z_ℓ, every node q'
+// discovered at depth d (that is, (Pᵀ)^d(k,q') > 0 for some 1 ≤ d < ℓ) has
+// its distributions computed up to level ℓ−d; the Lemma-4 subtraction at
+// level ℓ reads exactly levels ℓ' = ℓ−d of those sources.
+func (e *Estimator) explore(k graph.NodeID, budget int64, maxDepth int) (int, float64) {
+	g := e.g
+	var edges int64
+
+	// extend computes one more level for st. It returns false as soon as
+	// the edge budget trips; the partially accumulated level is discarded
+	// by the callers (they abort the whole exploration).
+	extend := func(st *sourceState) bool {
+		last := &st.levels[len(st.levels)-1]
+		for i, x := range last.Idx {
+			din := g.InDegree(x)
+			if din == 0 {
+				continue
+			}
+			share := last.Val[i] / float64(din)
+			for _, q := range g.InNeighbors(x) {
+				e.acc.Add(q, share)
+			}
+			edges += int64(din)
+			if edges >= budget {
+				e.acc.Reset()
+				return false
+			}
+		}
+		st.levels = append(st.levels, e.acc.Build(0))
+		return true
+	}
+
+	stK := &sourceState{levels: []sparse.Vector{{Idx: []int32{k}, Val: []float64{1}}}}
+	sources := map[int32]*sourceState{k: stK}
+	zByLevel := []sparse.Vector{{}} // level 0 unused
+	zSum := 0.0
+
+	for ell := 1; ell <= maxDepth; ell++ {
+		// Grow the from-k distribution to level ell.
+		if len(stK.levels) <= ell {
+			if !extend(stK) {
+				return ell - 1, zSum
+			}
+		}
+		if stK.levels[ell].Len() == 0 {
+			// walk from k dies out entirely (dead ends): Z is complete
+			return ell - 1, zSum
+		}
+		// Ensure discovered sources have the levels the subtraction needs.
+		for d := 1; d < ell; d++ {
+			fk := &stK.levels[d]
+			for _, q := range fk.Idx {
+				st := sources[q]
+				if st == nil {
+					st = &sourceState{levels: []sparse.Vector{{Idx: []int32{q}, Val: []float64{1}}}}
+					sources[q] = st
+				}
+				for len(st.levels) <= ell-d {
+					if !extend(st) {
+						return ell - 1, zSum
+					}
+				}
+			}
+		}
+
+		// Z_ℓ(k,q) = c^ℓ (Pᵀ)^ℓ(k,q)² − Σ_{ℓ'=1}^{ℓ−1} Σ_{q'} c^{ℓ'} (Pᵀ)^{ℓ'}(q',q)² Z_{ℓ−ℓ'}(k,q').
+		cl := math.Pow(e.c, float64(ell))
+		for i, q := range stK.levels[ell].Idx {
+			p := stK.levels[ell].Val[i]
+			e.zacc.Add(q, cl*p*p)
+		}
+		for lp := 1; lp < ell; lp++ {
+			zPrev := &zByLevel[ell-lp]
+			clp := math.Pow(e.c, float64(lp))
+			for i, qp := range zPrev.Idx {
+				zval := zPrev.Val[i]
+				if zval == 0 {
+					continue
+				}
+				st := sources[qp]
+				lv := &st.levels[lp]
+				for j, q := range lv.Idx {
+					p := lv.Val[j]
+					e.zacc.Add(q, -clp*p*p*zval)
+				}
+			}
+		}
+		zell := e.zacc.Build(math.Inf(-1))
+		for i, v := range zell.Val {
+			if v < 0 { // numerical noise; Z is a probability mass
+				zell.Val[i] = 0
+			}
+		}
+		zByLevel = append(zByLevel, zell)
+		zSum += zell.Sum()
+		if edges >= budget {
+			return ell, zSum
+		}
+	}
+	return maxDepth, zSum
+}
+
+// Request names one node and its pair-sample allowance for Batch.
+// TargetDepth and EdgeBudget (Algorithm-3 runs only) follow the
+// ImprovedParams semantics; zero values select the paper's defaults.
+type Request struct {
+	Node        graph.NodeID
+	Samples     int
+	TargetDepth int
+	EdgeBudget  int64
+}
+
+// Options configures a Batch run.
+type Options struct {
+	C        float64 // decay factor
+	Improved bool    // Algorithm 3 instead of Algorithm 2
+	Workers  int     // parallel workers (≤1 serial)
+	Seed     uint64  // base seed
+}
+
+// Batch estimates D(k,k) for every request. Each request runs on its own
+// RNG stream derived from (Seed, request index), so results are
+// bit-for-bit reproducible regardless of worker count or scheduling — the
+// property the paper's parallelization paragraph demands of a ground-truth
+// tool.
+func Batch(g *graph.Graph, reqs []Request, opt Options) []float64 {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]float64, len(reqs))
+	var next int64
+	run := func(e *Estimator) {
+		for {
+			i := int(atomic.AddInt64(&next, 1) - 1)
+			if i >= len(reqs) {
+				return
+			}
+			req := reqs[i]
+			e.Reseed(opt.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+			if opt.Improved {
+				out[i] = e.ImprovedWith(req.Node, ImprovedParams{
+					Samples:     req.Samples,
+					TargetDepth: req.TargetDepth,
+					EdgeBudget:  req.EdgeBudget,
+				})
+			} else {
+				out[i] = e.Basic(req.Node, req.Samples)
+			}
+		}
+	}
+	if workers == 1 {
+		run(NewEstimator(g, opt.C, opt.Seed))
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			run(NewEstimator(g, opt.C, opt.Seed+uint64(id)))
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// ExactByIteration computes D exactly by value iteration on the pair chain
+//
+//	M(u,v) = (c / d_in(u)d_in(v)) Σ_{u'∈I(u)} Σ_{v'∈I(v)} ([u'=v'] + [u'≠v']·M(u',v'))
+//
+// with D(k,k) = 1 − M(k,k). After `iters` rounds the error is ≤ c^iters.
+// O(iters·m²) time and O(n²) space: a small-graph oracle used to validate
+// both estimators and to drive the deterministic exact-D ExactSim variant.
+func ExactByIteration(g *graph.Graph, c float64, iters int) []float64 {
+	n := g.N()
+	cur := make([]float64, n*n)
+	nxt := make([]float64, n*n)
+	for it := 0; it < iters; it++ {
+		for u := 0; u < n; u++ {
+			iu := g.InNeighbors(int32(u))
+			for v := 0; v < n; v++ {
+				iv := g.InNeighbors(int32(v))
+				if len(iu) == 0 || len(iv) == 0 {
+					nxt[u*n+v] = 0
+					continue
+				}
+				sum := 0.0
+				for _, up := range iu {
+					for _, vp := range iv {
+						if up == vp {
+							sum++
+						} else {
+							sum += cur[int(up)*n+int(vp)]
+						}
+					}
+				}
+				nxt[u*n+v] = c * sum / float64(len(iu)*len(iv))
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	d := make([]float64, n)
+	for k := 0; k < n; k++ {
+		d[k] = 1 - cur[k*n+k]
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// Ranking-quality metrics beyond the paper's Precision@k. The SimRank
+// literature the paper builds on (SLING, PRSim, ProbeSim) commonly also
+// reports NDCG@k and rank correlation; these round out the evaluation
+// toolkit for downstream users.
+
+// NDCGAtK computes the Normalized Discounted Cumulative Gain of the
+// approximate ranking against true scores: the approximate top-k order is
+// credited with the *true* score of each returned node, discounted by
+// log2(rank+1), and normalized by the ideal ordering's DCG.
+func NDCGAtK(approx, truth []float64, k int, source graph.NodeID) float64 {
+	if k <= 0 {
+		return 1
+	}
+	approxTop := sparse.TopK(approx, k, source)
+	idealTop := sparse.TopK(truth, k, source)
+	if len(idealTop) == 0 {
+		return 1
+	}
+	dcg := 0.0
+	for rank, e := range approxTop {
+		dcg += truth[e.Idx] / math.Log2(float64(rank)+2)
+	}
+	ideal := 0.0
+	for rank, e := range idealTop {
+		ideal += e.Val / math.Log2(float64(rank)+2)
+	}
+	if ideal == 0 {
+		return 1
+	}
+	return dcg / ideal
+}
+
+// KendallTauAtK computes Kendall's tau-a between the approximate and true
+// orderings restricted to the true top-k set: the fraction of concordant
+// pairs minus discordant pairs among the k·(k−1)/2 pairs. 1 is perfect
+// agreement, −1 perfect inversion.
+func KendallTauAtK(approx, truth []float64, k int, source graph.NodeID) float64 {
+	top := sparse.TopK(truth, k, source)
+	if len(top) < 2 {
+		return 1
+	}
+	nodes := make([]int32, len(top))
+	for i, e := range top {
+		nodes[i] = e.Idx
+	}
+	// nodes are in true-rank order; count inversions under approx scores.
+	concordant, discordant := 0, 0
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := approx[nodes[i]], approx[nodes[j]]
+			switch {
+			case a > b:
+				concordant++
+			case a < b:
+				discordant++
+			}
+			// ties contribute to neither (tau-a denominator keeps them)
+		}
+	}
+	pairs := len(nodes) * (len(nodes) - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// RankOf returns the 1-based rank of node in the score vector (descending,
+// ties broken by ascending index, source excluded), or 0 if node == source.
+func RankOf(scores []float64, node, source graph.NodeID) int {
+	if node == source {
+		return 0
+	}
+	type pair struct {
+		idx int32
+		val float64
+	}
+	ps := make([]pair, 0, len(scores)-1)
+	for i, v := range scores {
+		if int32(i) == source {
+			continue
+		}
+		ps = append(ps, pair{int32(i), v})
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].val != ps[b].val {
+			return ps[a].val > ps[b].val
+		}
+		return ps[a].idx < ps[b].idx
+	})
+	for r, p := range ps {
+		if p.idx == node {
+			return r + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+func TestNDCGPerfect(t *testing.T) {
+	truth := []float64{1, 0.9, 0.8, 0.7, 0.1}
+	if got := NDCGAtK(truth, truth, 3, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NDCG %g", got)
+	}
+}
+
+func TestNDCGDegradesWithNoise(t *testing.T) {
+	r := rng.New(3)
+	truth := make([]float64, 200)
+	for i := range truth {
+		truth[i] = r.Float64()
+	}
+	noisy := make([]float64, len(truth))
+	garbage := make([]float64, len(truth))
+	for i := range truth {
+		noisy[i] = truth[i] + 0.01*r.Float64()
+		garbage[i] = r.Float64()
+	}
+	nPerfect := NDCGAtK(truth, truth, 20, -1)
+	nNoisy := NDCGAtK(noisy, truth, 20, -1)
+	nGarbage := NDCGAtK(garbage, truth, 20, -1)
+	if !(nPerfect >= nNoisy && nNoisy > nGarbage) {
+		t.Fatalf("NDCG ordering broken: %g %g %g", nPerfect, nNoisy, nGarbage)
+	}
+	if nGarbage >= 0.99 {
+		t.Fatalf("garbage NDCG suspiciously high: %g", nGarbage)
+	}
+}
+
+func TestNDCGEdgeCases(t *testing.T) {
+	if NDCGAtK([]float64{1}, []float64{1}, 0, -1) != 1 {
+		t.Fatal("k=0")
+	}
+	if NDCGAtK([]float64{0, 0}, []float64{0, 0}, 2, -1) != 1 {
+		t.Fatal("all-zero truth should yield 1")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	truth := []float64{0.9, 0.8, 0.7, 0.6, 0.1}
+	if got := KendallTauAtK(truth, truth, 4, -1); got != 1 {
+		t.Fatalf("identity tau %g", got)
+	}
+	reversed := []float64{0.1, 0.2, 0.3, 0.4, 0.9}
+	// true top-4 = nodes 0..3; approx reverses them... node 4 has high
+	// approx but is outside the true top-4 set
+	if got := KendallTauAtK(reversed, truth, 4, -1); got != -1 {
+		t.Fatalf("reversed tau %g", got)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	truth := []float64{0.9, 0.8, 0.7}
+	flat := []float64{0.5, 0.5, 0.5}
+	if got := KendallTauAtK(flat, truth, 3, -1); got != 0 {
+		t.Fatalf("all-ties tau %g", got)
+	}
+}
+
+func TestKendallTauSmallK(t *testing.T) {
+	if got := KendallTauAtK([]float64{1, 2}, []float64{1, 2}, 1, -1); got != 1 {
+		t.Fatalf("k=1 tau %g", got)
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	scores := []float64{1.0, 0.3, 0.9, 0.3, 0.5}
+	// excluding source 0: order is 2 (0.9), 4 (0.5), 1 (0.3), 3 (0.3)
+	cases := map[int32]int{2: 1, 4: 2, 1: 3, 3: 4}
+	for node, want := range cases {
+		if got := RankOf(scores, node, 0); got != want {
+			t.Fatalf("RankOf(%d) = %d want %d", node, got, want)
+		}
+	}
+	if RankOf(scores, 0, 0) != 0 {
+		t.Fatal("source rank should be 0")
+	}
+}

@@ -1,0 +1,248 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 3, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// m ≈ 2·k·n (each of the n−core new nodes adds k undirected edges).
+	if g.M() < 2*2*2000 || g.M() > 2*4*2000 {
+		t.Fatalf("unexpected m=%d", g.M())
+	}
+	// undirected: in-degree equals out-degree for every node
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.InDegree(v) != g.OutDegree(v) {
+			t.Fatalf("node %d: in=%d out=%d (should be symmetric)", v, g.InDegree(v), g.OutDegree(v))
+		}
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(500, 2, 42)
+	b := BarabasiAlbert(500, 2, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := BarabasiAlbert(500, 2, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	g := BarabasiAlbert(5000, 4, 7)
+	stats := graph.ComputeStats(g)
+	// preferential attachment must create hubs far above the mean degree
+	if float64(stats.MaxInDegree) < 5*stats.AvgDegree {
+		t.Fatalf("no hubs: max in-degree %d vs avg %f", stats.MaxInDegree, stats.AvgDegree)
+	}
+	gamma := PowerLawExponentEstimate(g, 8)
+	if gamma < 1.5 || gamma > 4.5 {
+		t.Fatalf("power-law exponent estimate %f outside plausible range", gamma)
+	}
+}
+
+func TestBarabasiAlbertTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5} {
+		g := BarabasiAlbert(n, 2, 1)
+		if g.N() != n {
+			t.Fatalf("n=%d got %d", n, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDirectedScaleFree(t *testing.T) {
+	g := DirectedScaleFree(3000, 20000, 0.2, 0.5, 0.3, 1.0, 1.0, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() < 10000 { // dedup can shrink, but not catastrophically
+		t.Fatalf("m=%d too small", g.M())
+	}
+	stats := graph.ComputeStats(g)
+	if float64(stats.MaxInDegree) < 3*stats.AvgDegree {
+		t.Fatalf("directed scale-free produced no in-hubs: %+v", stats)
+	}
+}
+
+func TestDirectedScaleFreeDeterministic(t *testing.T) {
+	a := DirectedScaleFree(500, 2000, 0.3, 0.4, 0.3, 1, 1, 5)
+	b := DirectedScaleFree(500, 2000, 0.3, 0.4, 0.3, 1, 1, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestDirectedScaleFreeBadParams(t *testing.T) {
+	// degenerate probabilities must not hang or panic
+	g := DirectedScaleFree(100, 500, 0, 0, 0, 0, 0, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(12, 40000, 0.57, 0.19, 0.19, 0.05, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4096 {
+		t.Fatalf("n=%d", g.N())
+	}
+	stats := graph.ComputeStats(g)
+	if float64(stats.MaxInDegree) < 4*stats.AvgDegree {
+		t.Fatalf("R-MAT not skewed: %+v", stats)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 2000, 0.57, 0.19, 0.19, 0.05, 2)
+	b := RMAT(8, 2000, 0.57, 0.19, 0.19, 0.05, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() < 4500 || g.M() > 5000 { // some dedup expected, not much
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(5)
+	if g.M() != 5 {
+		t.Fatalf("m=%d", g.M())
+	}
+	for i := 0; i < 5; i++ {
+		if !g.HasEdge(int32(i), int32((i+1)%5)) {
+			t.Fatalf("missing edge %d→%d", i, (i+1)%5)
+		}
+		if g.InDegree(int32(i)) != 1 || g.OutDegree(int32(i)) != 1 {
+			t.Fatalf("cycle degrees wrong at %d", i)
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(4)
+	if g.M() != 3 {
+		t.Fatalf("m=%d", g.M())
+	}
+	if g.InDegree(0) != 0 || g.OutDegree(3) != 0 {
+		t.Fatal("path endpoints wrong")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.M() != 10 {
+		t.Fatalf("m=%d", g.M())
+	}
+	if g.InDegree(0) != 5 || g.OutDegree(0) != 5 {
+		t.Fatal("center degrees wrong")
+	}
+	for i := 1; i < 6; i++ {
+		if g.InDegree(int32(i)) != 1 {
+			t.Fatalf("leaf %d in-degree %d", i, g.InDegree(int32(i)))
+		}
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(5)
+	if g.M() != 20 {
+		t.Fatalf("m=%d", g.M())
+	}
+	for i := int32(0); i < 5; i++ {
+		if g.InDegree(i) != 4 || g.OutDegree(i) != 4 {
+			t.Fatal("clique degrees wrong")
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// undirected edges: horizontal 3*3=9, vertical 2*4=8 → 17 pairs → 34 arcs
+	if g.M() != 34 {
+		t.Fatalf("m=%d", g.M())
+	}
+	// corner has degree 2
+	if g.InDegree(0) != 2 {
+		t.Fatalf("corner degree %d", g.InDegree(0))
+	}
+}
+
+func TestTwoCommunities(t *testing.T) {
+	g := TwoCommunities(50, 0.3, 0.01, 21)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// count cross vs intra arcs
+	var intra, cross int
+	for u := int32(0); u < 100; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if (u < 50) == (v < 50) {
+				intra++
+			} else {
+				cross++
+			}
+		}
+	}
+	if intra < 10*cross {
+		t.Fatalf("communities not separated: intra=%d cross=%d", intra, cross)
+	}
+}
+
+func TestPowerLawEstimateOnUniform(t *testing.T) {
+	// An ER graph has Poisson-ish degrees: estimator should return a large
+	// exponent (fast tail), clearly different from scale-free ~2-3.
+	er := ErdosRenyi(5000, 50000, 3)
+	ba := BarabasiAlbert(5000, 5, 3)
+	gEr := PowerLawExponentEstimate(er, 10)
+	gBa := PowerLawExponentEstimate(ba, 10)
+	if gBa >= gEr {
+		t.Fatalf("scale-free exponent %f should be below ER %f", gBa, gEr)
+	}
+}
+
+func BenchmarkBarabasiAlbert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(10000, 4, uint64(i))
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(14, 100000, 0.57, 0.19, 0.19, 0.05, uint64(i))
+	}
+}

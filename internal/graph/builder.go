@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. It follows the
+// SimRank literature's preprocessing conventions: parallel edges are merged,
+// and self-loops are dropped by default (S(i,i) = 1 is definitional, so a
+// self-loop only distorts the in-degree normalization).
+type Builder struct {
+	n         int32
+	src, dst  []int32
+	keepLoops bool
+}
+
+// NewBuilder returns a builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: int32(n)}
+}
+
+// KeepSelfLoops configures the builder to retain self-loops. Off by default.
+func (b *Builder) KeepSelfLoops() *Builder {
+	b.keepLoops = true
+	return b
+}
+
+// Reserve pre-allocates capacity for m edges.
+func (b *Builder) Reserve(m int) *Builder {
+	if cap(b.src) < m {
+		src := make([]int32, len(b.src), m)
+		copy(src, b.src)
+		b.src = src
+		dst := make([]int32, len(b.dst), m)
+		copy(dst, b.dst)
+		b.dst = dst
+	}
+	return b
+}
+
+// AddEdge records the directed edge u→v. Out-of-range endpoints panic: edge
+// sources are internal (generators, loaders) and validate separately.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, b.n))
+	}
+	if u == v && !b.keepLoops {
+		return
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+}
+
+// AddUndirected records both u→v and v→u.
+func (b *Builder) AddUndirected(u, v NodeID) {
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+}
+
+// Len returns the number of edges recorded so far (before dedup).
+func (b *Builder) Len() int { return len(b.src) }
+
+// Build sorts, deduplicates, and freezes the edge set into a Graph. The
+// builder can be reused afterwards; it retains its recorded edges.
+func (b *Builder) Build() *Graph {
+	m := len(b.src)
+	// Sort edge ids by (src, dst) to produce sorted out-adjacency and to
+	// make duplicates adjacent.
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if b.src[a] != b.src[c] {
+			return b.src[a] < b.src[c]
+		}
+		return b.dst[a] < b.dst[c]
+	})
+
+	g := &Graph{n: b.n}
+	g.outOff = make([]int64, b.n+1)
+	g.outAdj = make([]int32, 0, m)
+	var prevU, prevV int32 = -1, -1
+	for _, id := range order {
+		u, v := b.src[id], b.dst[id]
+		if u == prevU && v == prevV {
+			continue // merge parallel edge
+		}
+		prevU, prevV = u, v
+		g.outAdj = append(g.outAdj, v)
+		g.outOff[u+1]++
+	}
+	for v := int32(0); v < b.n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+
+	// Counting pass for in-adjacency, then a placement pass. The resulting
+	// in-lists are sorted because we scan sources in ascending order.
+	g.inOff = make([]int64, b.n+1)
+	for _, v := range g.outAdj {
+		g.inOff[v+1]++
+	}
+	for v := int32(0); v < b.n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inAdj = make([]int32, len(g.outAdj))
+	cursor := make([]int64, b.n)
+	copy(cursor, g.inOff[:b.n])
+	for u := int32(0); u < b.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			g.inAdj[cursor[v]] = u
+			cursor[v]++
+		}
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: it builds a graph with n nodes
+// from a list of directed (u,v) pairs.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n).Reserve(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// FromUndirectedEdges builds a graph where each listed pair becomes two
+// directed edges.
+func FromUndirectedEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n).Reserve(2 * len(edges))
+	for _, e := range edges {
+		b.AddUndirected(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+func TestDynamicBasics(t *testing.T) {
+	d := NewDynamic(4)
+	if !d.AddEdge(0, 1) {
+		t.Fatal("fresh edge rejected")
+	}
+	if d.AddEdge(0, 1) {
+		t.Fatal("duplicate edge accepted")
+	}
+	if d.AddEdge(2, 2) {
+		t.Fatal("self-loop accepted")
+	}
+	if d.M() != 1 || !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Fatalf("state wrong: m=%d", d.M())
+	}
+	if !d.RemoveEdge(0, 1) {
+		t.Fatal("existing edge not removed")
+	}
+	if d.RemoveEdge(0, 1) {
+		t.Fatal("absent edge removed")
+	}
+	if d.M() != 0 {
+		t.Fatalf("m=%d after removal", d.M())
+	}
+}
+
+func TestDynamicUndirected(t *testing.T) {
+	d := NewDynamic(3)
+	d.AddUndirected(0, 2)
+	if d.M() != 2 || !d.HasEdge(0, 2) || !d.HasEdge(2, 0) {
+		t.Fatal("undirected insert broken")
+	}
+	d.RemoveUndirected(0, 2)
+	if d.M() != 0 {
+		t.Fatal("undirected removal broken")
+	}
+}
+
+func TestDynamicAddNode(t *testing.T) {
+	d := NewDynamic(2)
+	id := d.AddNode()
+	if id != 2 || d.N() != 3 {
+		t.Fatalf("AddNode gave %d, n=%d", id, d.N())
+	}
+	if !d.AddEdge(2, 0) {
+		t.Fatal("edge from new node rejected")
+	}
+}
+
+func TestDynamicSnapshotCaching(t *testing.T) {
+	d := NewDynamic(3)
+	d.AddEdge(0, 1)
+	s1 := d.Snapshot()
+	s2 := d.Snapshot()
+	if s1 != s2 {
+		t.Fatal("snapshot not cached")
+	}
+	d.AddEdge(1, 2)
+	s3 := d.Snapshot()
+	if s3 == s1 {
+		t.Fatal("mutation did not invalidate snapshot")
+	}
+	if s3.M() != 2 {
+		t.Fatalf("snapshot m=%d", s3.M())
+	}
+	if err := s3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicFromRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	g := randomGraph(r, 50, 300)
+	d := DynamicFrom(g)
+	if d.M() != g.M() {
+		t.Fatalf("m mismatch: %d vs %d", d.M(), g.M())
+	}
+	snap := d.Snapshot()
+	if snap.M() != g.M() || snap.N() != g.N() {
+		t.Fatal("snapshot size mismatch")
+	}
+	for u := int32(0); u < int32(g.N()); u++ {
+		a, b := g.OutNeighbors(u), snap.OutNeighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", u)
+			}
+		}
+	}
+}
+
+func TestDynamicAgainstReference(t *testing.T) {
+	// Random add/remove workload cross-checked against a map reference.
+	r := rng.New(11)
+	const n = 30
+	d := NewDynamic(n)
+	ref := map[[2]int32]bool{}
+	for op := 0; op < 5000; op++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if r.Bernoulli(0.6) {
+			added := d.AddEdge(u, v)
+			wantAdded := u != v && !ref[[2]int32{u, v}]
+			if added != wantAdded {
+				t.Fatalf("op %d: AddEdge(%d,%d) = %v want %v", op, u, v, added, wantAdded)
+			}
+			if wantAdded {
+				ref[[2]int32{u, v}] = true
+			}
+		} else {
+			removed := d.RemoveEdge(u, v)
+			if removed != ref[[2]int32{u, v}] {
+				t.Fatalf("op %d: RemoveEdge(%d,%d) = %v", op, u, v, removed)
+			}
+			delete(ref, [2]int32{u, v})
+		}
+	}
+	if d.M() != len(ref) {
+		t.Fatalf("edge count drifted: %d vs %d", d.M(), len(ref))
+	}
+	snap := d.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for u := int32(0); u < n; u++ {
+		for _, v := range snap.OutNeighbors(u) {
+			if !ref[[2]int32{u, v}] {
+				t.Fatalf("phantom edge %d→%d", u, v)
+			}
+			count++
+		}
+	}
+	if count != len(ref) {
+		t.Fatalf("snapshot missing edges: %d vs %d", count, len(ref))
+	}
+}
+
+func TestDynamicPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDynamic(2).AddEdge(0, 5)
+}

@@ -1,0 +1,159 @@
+// Package graph provides the directed-graph substrate every algorithm in
+// this repository runs on: an immutable CSR (compressed sparse row)
+// representation with both out- and in-adjacency, a mutable builder,
+// text and binary codecs, and degree statistics.
+//
+// SimRank's transition structure is defined on *in*-neighbors (a √c-walk
+// moves to a uniformly random in-neighbor), so the in-adjacency arrays are
+// the hot path; the out-adjacency arrays serve the transposed operator Pᵀ
+// and the reverse sampling used by the PRSim baseline.
+package graph
+
+import "fmt"
+
+// NodeID identifies a vertex. 32 bits keeps the adjacency arrays compact;
+// the paper's largest graph (Twitter, 4.2e7 nodes) fits with room to spare.
+type NodeID = int32
+
+// Graph is an immutable directed graph in CSR form. Construct with a
+// Builder, Load, or one of the internal/gen generators.
+//
+// For an edge u→v, u appears in InNeighbors(v) and v in OutNeighbors(u).
+// Parallel edges are merged by the builder; self-loops are preserved only if
+// the builder is configured to keep them (SimRank convention drops them).
+type Graph struct {
+	n int32
+
+	outOff []int64
+	outAdj []int32
+	inOff  []int64
+	inAdj  []int32
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return int(g.n) }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.outAdj) }
+
+// InDegree returns d_in(v), the in-degree of v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutDegree returns d_out(v).
+func (g *Graph) OutDegree(v NodeID) int {
+	return int(g.outOff[v+1] - g.outOff[v])
+}
+
+// InNeighbors returns the in-neighbors of v (nodes u with u→v), sorted
+// ascending. The returned slice aliases the graph's storage; callers must
+// not modify it.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutNeighbors returns the out-neighbors of v (nodes w with v→w), sorted
+// ascending. The returned slice aliases the graph's storage.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// HasEdge reports whether the directed edge u→v exists (binary search on
+// the out-adjacency of u).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	adj := g.OutNeighbors(u)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == v
+}
+
+// Bytes returns the in-memory footprint of the CSR arrays, used by the
+// harness when reporting index sizes relative to graph size (Table 3).
+func (g *Graph) Bytes() int64 {
+	return int64(len(g.outOff)+len(g.inOff))*8 + int64(len(g.outAdj)+len(g.inAdj))*4
+}
+
+// Stats summarizes the degree structure of a graph.
+type Stats struct {
+	N            int
+	M            int
+	MaxInDegree  int
+	MaxOutDegree int
+	AvgDegree    float64 // m / n
+	DeadEnds     int     // nodes with in-degree 0 (√c-walk absorbers)
+	Sources      int     // nodes with out-degree 0
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{N: g.N(), M: g.M()}
+	if s.N > 0 {
+		s.AvgDegree = float64(s.M) / float64(s.N)
+	}
+	for v := int32(0); v < g.n; v++ {
+		din, dout := g.InDegree(v), g.OutDegree(v)
+		if din > s.MaxInDegree {
+			s.MaxInDegree = din
+		}
+		if dout > s.MaxOutDegree {
+			s.MaxOutDegree = dout
+		}
+		if din == 0 {
+			s.DeadEnds++
+		}
+		if dout == 0 {
+			s.Sources++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
+}
+
+// Validate checks internal CSR invariants. It is used by tests and by Load
+// to reject corrupt binary files; a healthy builder never produces an
+// invalid graph.
+func (g *Graph) Validate() error {
+	if int(g.n) < 0 {
+		return fmt.Errorf("graph: negative node count %d", g.n)
+	}
+	if len(g.outOff) != int(g.n)+1 || len(g.inOff) != int(g.n)+1 {
+		return fmt.Errorf("graph: offset array sizes %d,%d for n=%d", len(g.outOff), len(g.inOff), g.n)
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: out/in edge counts differ: %d vs %d", len(g.outAdj), len(g.inAdj))
+	}
+	if g.outOff[0] != 0 || g.inOff[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	if g.outOff[g.n] != int64(len(g.outAdj)) || g.inOff[g.n] != int64(len(g.inAdj)) {
+		return fmt.Errorf("graph: final offsets do not cover adjacency arrays")
+	}
+	for v := int32(0); v < g.n; v++ {
+		if g.outOff[v] > g.outOff[v+1] || g.inOff[v] > g.inOff[v+1] {
+			return fmt.Errorf("graph: non-monotone offsets at node %d", v)
+		}
+		for _, lists := range [2][]int32{g.OutNeighbors(v), g.InNeighbors(v)} {
+			for i, u := range lists {
+				if u < 0 || u >= g.n {
+					return fmt.Errorf("graph: neighbor %d of node %d out of range", u, v)
+				}
+				if i > 0 && lists[i-1] >= u {
+					return fmt.Errorf("graph: adjacency of node %d not strictly sorted", v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+// triangle returns the directed 3-cycle 0→1→2→0.
+func triangle() *Graph {
+	return FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := triangle()
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	if got := g.OutNeighbors(0); !reflect.DeepEqual(got, []int32{1}) {
+		t.Fatalf("out(0) = %v", got)
+	}
+	if got := g.InNeighbors(0); !reflect.DeepEqual(got, []int32{2}) {
+		t.Fatalf("in(0) = %v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDedupAndLoops(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(1, 1) // self-loop: dropped by default
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("expected 2 edges after dedup/loop-drop, got %d", g.M())
+	}
+	if g.HasEdge(1, 1) {
+		t.Fatal("self-loop survived")
+	}
+
+	g2 := NewBuilder(2).KeepSelfLoops()
+	g2.AddEdge(1, 1)
+	built := g2.Build()
+	if built.M() != 1 || !built.HasEdge(1, 1) {
+		t.Fatal("KeepSelfLoops did not retain the loop")
+	}
+}
+
+func TestBuilderUndirected(t *testing.T) {
+	g := FromUndirectedEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	if g.M() != 4 {
+		t.Fatalf("undirected build m=%d want 4", g.M())
+	}
+	for _, e := range [][2]int32{{0, 1}, {1, 0}, {1, 2}, {2, 1}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := FromEdges(5, [][2]int32{{0, 1}, {0, 3}, {0, 4}, {2, 0}})
+	cases := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {0, 2, false}, {0, 3, true}, {0, 4, true},
+		{2, 0, true}, {0, 0, false}, {4, 4, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Fatalf("HasEdge(%d,%d) = %v want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {2, 1}, {3, 1}, {1, 0}})
+	if g.InDegree(1) != 3 || g.OutDegree(1) != 1 {
+		t.Fatalf("degrees of 1: in=%d out=%d", g.InDegree(1), g.OutDegree(1))
+	}
+	if g.InDegree(3) != 0 || g.OutDegree(3) != 1 {
+		t.Fatalf("degrees of 3: in=%d out=%d", g.InDegree(3), g.OutDegree(3))
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {2, 1}, {3, 1}, {1, 0}})
+	s := ComputeStats(g)
+	if s.N != 4 || s.M != 4 {
+		t.Fatalf("stats n/m: %+v", s)
+	}
+	if s.MaxInDegree != 3 {
+		t.Fatalf("MaxInDegree = %d", s.MaxInDegree)
+	}
+	if s.DeadEnds != 2 { // nodes 2 and 3 have no in-edges
+		t.Fatalf("DeadEnds = %d", s.DeadEnds)
+	}
+	if s.Sources != 0 {
+		t.Fatalf("Sources = %d (every node here has an out-edge)", s.Sources)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g5 := NewBuilder(5).Build() // nodes, no edges
+	if g5.N() != 5 || g5.M() != 0 {
+		t.Fatal("edgeless build broken")
+	}
+	if g5.InDegree(4) != 0 || g5.OutDegree(0) != 0 {
+		t.Fatal("edgeless degrees nonzero")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+// randomGraph builds a random directed graph for property tests.
+func randomGraph(r *rng.RNG, n, m int) *Graph {
+	b := NewBuilder(n).Reserve(m)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestPropertyCSRInvariants(t *testing.T) {
+	r := rng.New(7)
+	check := func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := 1 + rr.Intn(60)
+		m := rr.Intn(300)
+		g := randomGraph(r, n, m)
+		if g.Validate() != nil {
+			return false
+		}
+		// in-degree total equals out-degree total equals M
+		inSum, outSum := 0, 0
+		for v := int32(0); v < int32(g.N()); v++ {
+			inSum += g.InDegree(v)
+			outSum += g.OutDegree(v)
+		}
+		return inSum == g.M() && outSum == g.M()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInOutConsistency(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 1+r.Intn(40), r.Intn(200))
+		for v := int32(0); v < int32(g.N()); v++ {
+			for _, u := range g.InNeighbors(v) {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("in-neighbor %d of %d lacks out-edge", u, v)
+				}
+			}
+			for _, w := range g.OutNeighbors(v) {
+				found := false
+				for _, u := range g.InNeighbors(w) {
+					if u == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("out-edge %d→%d missing from in-list", v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# a comment
+% another comment
+0 1
+1 2
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(input), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("parsed n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(2, 0) {
+		t.Fatal("missing edge 2→0")
+	}
+}
+
+func TestReadEdgeListUndirected(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("undirected m=%d want 4", g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 x\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad), false); err == nil {
+			t.Fatalf("input %q: expected error", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	r := rng.New(13)
+	g := randomGraph(r, 30, 120)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node count can shrink if trailing nodes are isolated; compare edges.
+	if g2.M() != g.M() {
+		t.Fatalf("round trip m: %d vs %d", g2.M(), g.M())
+	}
+	for u := int32(0); u < int32(g2.N()); u++ {
+		if !reflect.DeepEqual(g.OutNeighbors(u), g2.OutNeighbors(u)) {
+			t.Fatalf("out-neighbors of %d differ", u)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 1+r.Intn(100), r.Intn(500))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatal("binary round trip not identical")
+		}
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	g := triangle()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xff // clobber magic
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(data[:10])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	g := triangle()
+	want := int64(2*4*8 + 2*3*4) // two offset arrays of n+1 int64, two adj arrays of m int32
+	if got := g.Bytes(); got != want {
+		t.Fatalf("Bytes() = %d want %d", got, want)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := triangle().String(); s != "graph{n=3 m=3}" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(1)
+	const n, m = 10000, 50000
+	edges := make([][2]int32, m)
+	for i := range edges {
+		edges[i] = [2]int32{int32(r.Intn(n)), int32(r.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(n, edges)
+	}
+}
+
+func BenchmarkInNeighborScan(b *testing.B) {
+	r := rng.New(2)
+	g := randomGraph(r, 10000, 100000)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for v := int32(0); v < int32(g.N()); v++ {
+			sink += len(g.InNeighbors(v))
+		}
+	}
+	_ = sink
+}

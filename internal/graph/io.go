@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text format: SNAP-style edge lists. Lines starting with '#' or '%' are
+// comments; each data line holds "u<ws>v" with 0-based node ids. Node count
+// is inferred as max id + 1 unless the caller supplies one.
+
+// ReadEdgeList parses a SNAP-style edge list. If undirected is true each
+// line yields both directions (the convention for the paper's co-authorship
+// datasets).
+func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	type edge struct{ u, v int32 }
+	var edges []edge
+	maxID := int32(-1)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %w", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		e := edge{int32(u), int32(v)}
+		edges = append(edges, e)
+		if e.u > maxID {
+			maxID = e.u
+		}
+		if e.v > maxID {
+			maxID = e.v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(int(maxID) + 1).Reserve(len(edges))
+	for _, e := range edges {
+		if undirected {
+			b.AddUndirected(e.u, e.v)
+		} else {
+			b.AddEdge(e.u, e.v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// LoadEdgeList reads an edge-list file from disk.
+func LoadEdgeList(path string, undirected bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(bufio.NewReaderSize(f, 1<<20), undirected)
+}
+
+// WriteEdgeList emits the graph as a directed edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# directed edge list: n=%d m=%d\n", g.N(), g.M())
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// Binary format: a fixed little-endian header followed by the four CSR
+// arrays. Loading is a handful of bulk reads, which matters for the large
+// stand-in datasets the experiment harness regenerates.
+
+const binaryMagic = uint64(0x4753494d52414e4b) // "GSIMRANK"
+
+// WriteBinary encodes the graph in the repository's binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint64{binaryMagic, uint64(g.n), uint64(len(g.outAdj))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("graph: writing binary header: %w", err)
+		}
+	}
+	for _, arr := range [][]int64{g.outOff, g.inOff} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return fmt.Errorf("graph: writing offsets: %w", err)
+		}
+	}
+	for _, arr := range [][]int32{g.outAdj, g.inAdj} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return fmt.Errorf("graph: writing adjacency: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic, n, m uint64
+	for _, p := range []*uint64{&magic, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if n > 1<<31-2 || m > 1<<40 {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+	}
+	g := &Graph{n: int32(n)}
+	g.outOff = make([]int64, n+1)
+	g.inOff = make([]int64, n+1)
+	g.outAdj = make([]int32, m)
+	g.inAdj = make([]int32, m)
+	for _, arr := range [][]int64{g.outOff, g.inOff} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+	}
+	for _, arr := range [][]int32{g.outAdj, g.inAdj} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary file failed validation: %w", err)
+	}
+	return g, nil
+}
+
+// SaveBinary writes the binary encoding to path.
+func SaveBinary(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a binary graph from path.
+func LoadBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

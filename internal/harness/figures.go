@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/dataset"
+)
+
+// Runner executes experiments by id, caching dataset environments and
+// method sweeps so that e.g. Figures 1–4 share one measurement pass.
+type Runner struct {
+	cfg    Config
+	envs   map[string]*Env
+	sweeps map[string][]Point
+}
+
+// NewRunner returns a Runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg, envs: map[string]*Env{}, sweeps: map[string][]Point{}}
+}
+
+// Experiments lists the supported experiment ids in paper order.
+func Experiments() []string {
+	return []string{
+		"table2", "fig1", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "fig9",
+		"table3", "ablation-extra",
+	}
+}
+
+// Env returns the (cached) environment for a dataset key.
+func (r *Runner) Env(key string) (*Env, error) {
+	if env, ok := r.envs[key]; ok {
+		return env, nil
+	}
+	spec, err := dataset.ByKey(key)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(r.cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	r.envs[key] = env
+	return env, nil
+}
+
+// sweep returns the (cached) all-method sweep for a dataset key.
+func (r *Runner) sweep(key string) ([]Point, error) {
+	if pts, ok := r.sweeps[key]; ok {
+		return pts, nil
+	}
+	env, err := r.Env(key)
+	if err != nil {
+		return nil, err
+	}
+	pts := SweepAll(r.cfg, env)
+	r.sweeps[key] = pts
+	return pts, nil
+}
+
+func classKeys(c dataset.Class) []string {
+	var keys []string
+	var specs []dataset.Spec
+	if c == dataset.Small {
+		specs = dataset.SmallSpecs()
+	} else {
+		specs = dataset.LargeSpecs()
+	}
+	for _, s := range specs {
+		keys = append(keys, s.Key)
+	}
+	return keys
+}
+
+// Run executes one experiment id and returns its report.
+func (r *Runner) Run(id string) (*Report, error) {
+	switch id {
+	case "table2":
+		return r.table2()
+	case "fig1":
+		return r.tradeoffFigure(id, dataset.Small, "MaxError vs query time (small graphs; paper Figure 1)", projError, false)
+	case "fig2":
+		return r.tradeoffFigure(id, dataset.Small, "Precision@k vs query time (small graphs; paper Figure 2)", projPrecision, false)
+	case "fig3":
+		return r.tradeoffFigure(id, dataset.Small, "MaxError vs preprocessing time (small graphs; paper Figure 3)", projPrep, true)
+	case "fig4":
+		return r.tradeoffFigure(id, dataset.Small, "MaxError vs index size (small graphs; paper Figure 4)", projIndex, true)
+	case "fig5":
+		return r.tradeoffFigure(id, dataset.Large, "MaxError vs query time (large graphs; paper Figure 5)", projError, false)
+	case "fig6":
+		return r.tradeoffFigure(id, dataset.Large, "Precision@k vs query time (large graphs; paper Figure 6)", projPrecision, false)
+	case "fig7":
+		return r.tradeoffFigure(id, dataset.Large, "MaxError vs preprocessing time (large graphs; paper Figure 7)", projPrep, true)
+	case "fig8":
+		return r.tradeoffFigure(id, dataset.Large, "MaxError vs index size (large graphs; paper Figure 8)", projIndex, true)
+	case "fig9":
+		return r.figure9()
+	case "table3":
+		return r.table3()
+	case "ablation-extra":
+		return r.ablationExtra()
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
+	}
+}
+
+type projection int
+
+const (
+	projError projection = iota
+	projPrecision
+	projPrep
+	projIndex
+)
+
+// indexMethods are the methods with a preprocessing phase (Figures 3/4/7/8
+// plot only these, matching the paper).
+func isIndexMethod(m string) bool {
+	switch m {
+	case "MC", "PRSim", "Linearization":
+		return true
+	}
+	return false
+}
+
+func (r *Runner) tradeoffFigure(id string, class dataset.Class, title string,
+	proj projection, indexOnly bool) (*Report, error) {
+
+	rep := newReport(id, title)
+	for _, key := range classKeys(class) {
+		pts, err := r.sweep(key)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if indexOnly && !isIndexMethod(p.Method) {
+				continue
+			}
+			rep.add(p, proj)
+		}
+	}
+	return rep, nil
+}
+
+func (r *Runner) table2() (*Report, error) {
+	rep := newReport("table2", "Datasets (paper Table 2) with generated stand-ins")
+	var sb strings.Builder
+	if err := dataset.WriteTable2(&sb, r.cfg.Scale); err != nil {
+		return nil, err
+	}
+	rep.Preformatted = sb.String()
+	return rep, nil
+}
+
+func (r *Runner) figure9() (*Report, error) {
+	rep := newReport("fig9", "Basic vs optimized ExactSim (paper Figure 9: HP, DB)")
+	for _, key := range []string{"HP", "DB"} {
+		env, err := r.Env(key)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range SweepAblation(r.cfg, env, false) {
+			rep.add(p, projError)
+		}
+	}
+	return rep, nil
+}
+
+func (r *Runner) ablationExtra() (*Report, error) {
+	rep := newReport("ablation-extra",
+		"Component ablation: π²-sampling and Algorithm-3 isolated (DESIGN.md §3)")
+	env, err := r.Env("GQ")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range SweepAblation(r.cfg, env, true) {
+		rep.add(p, projError)
+	}
+	return rep, nil
+}
+
+// table3 measures the working memory of basic vs optimized ExactSim on the
+// large stand-ins (paper Table 3), alongside the graph size.
+func (r *Runner) table3() (*Report, error) {
+	rep := newReport("table3", "Memory overhead on large graphs (paper Table 3)")
+	rep.Header = []string{"dataset", "basic ExactSim (MB)", "ExactSim (MB)", "graph size (MB)"}
+	eps := r.cfg.GroundTruthEps
+	if eps < 1e-6 {
+		eps = 1e-6 // the paper reports Table 3 at exactness settings; the
+		// memory profile is set by L and the sparsification threshold.
+	}
+	for _, key := range classKeys(dataset.Large) {
+		// Table 3 needs no ground truth: generate the graph directly
+		// rather than paying for an Env.
+		spec, err := dataset.ByKey(key)
+		if err != nil {
+			return nil, err
+		}
+		g := spec.Generate(r.cfg.Scale)
+		src := pickSources(g, 1, r.cfg.Seed)[0]
+		var extras [2]int64
+		for i, optimized := range []bool{false, true} {
+			// SampleFactor is irrelevant to the memory profile; keep it
+			// tiny so Table 3 measures memory, not sampling time.
+			eng, err := core.New(g, core.Options{
+				C: r.cfg.C, Epsilon: eps, Optimized: optimized,
+				Seed: r.cfg.Seed, SampleFactor: 1e-12,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.SingleSource(src)
+			if err != nil {
+				return nil, err
+			}
+			extras[i] = res.ExtraBytes
+		}
+		mb := func(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
+		rep.Rows = append(rep.Rows, []string{
+			spec.Key, mb(extras[0]), mb(extras[1]), mb(g.Bytes()),
+		})
+	}
+	return rep, nil
+}
+
+// RunAll executes every experiment in order.
+func (r *Runner) RunAll() ([]*Report, error) {
+	var out []*Report
+	for _, id := range Experiments() {
+		rep, err := r.Run(id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// SortPoints orders points for stable report output.
+func SortPoints(pts []Point) {
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Dataset != pts[j].Dataset {
+			return pts[i].Dataset < pts[j].Dataset
+		}
+		return pts[i].Method < pts[j].Method
+	})
+}

@@ -1,0 +1,208 @@
+// Package harness drives the paper's experimental study (§4): it sweeps
+// every method over its parameter grid on the Table-2 dataset stand-ins,
+// measures preprocessing time, index size, query time, MaxError and
+// Precision@k against ground truth, and renders the series behind every
+// figure and table. See DESIGN.md §3 for the experiment index.
+//
+// Ground-truth policy follows the paper exactly: small graphs use the
+// power method; large graphs use optimized ExactSim at ε = 10⁻⁷ (§4.2),
+// configurable down for quick runs.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/dataset"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+// Config tunes a harness run. The zero value is NOT usable; call Default
+// or Quick.
+type Config struct {
+	// C is the SimRank decay factor (paper: 0.6).
+	C float64
+	// Scale shrinks the dataset stand-ins, in (0,1].
+	Scale float64
+	// Queries is the number of random source nodes per dataset (paper: 50).
+	Queries int
+	// K is the top-k cutoff for precision (paper: 500); clamped to n/4.
+	K int
+	// TimeBudget bounds each sweep point; points predicted or measured to
+	// exceed it are omitted — the stand-in for the paper's 24 h cutoff.
+	TimeBudget time.Duration
+	// GroundTruthEps is the ExactSim ε used for large-graph ground truth.
+	GroundTruthEps float64
+	// Workers caps parallelism for ground-truth computation; measured
+	// sweeps always run single-threaded like the paper's evaluation.
+	Workers int
+	// Seed drives query selection and every stochastic method.
+	Seed uint64
+	// EpsGrid overrides the error-parameter sweep (paper default:
+	// 10⁻¹ … 10⁻⁷). Quick configurations truncate it.
+	EpsGrid []float64
+	// SampleFactor is forwarded to the sampling methods (0 = 1.0).
+	SampleFactor float64
+	// Out receives progress lines; nil silences them.
+	Out io.Writer
+}
+
+// Default mirrors the paper's settings at full stand-in scale.
+func Default() Config {
+	return Config{
+		C: 0.6, Scale: 1, Queries: 50, K: 500,
+		TimeBudget: 2 * time.Minute, GroundTruthEps: 1e-7,
+		Workers: 1, Seed: 20200614,
+	}
+}
+
+// Quick returns a configuration small enough for unit tests and smoke
+// benchmarks: tiny graphs, few queries, loose ground truth, a truncated
+// ε grid.
+func Quick() Config {
+	return Config{
+		C: 0.6, Scale: 0.02, Queries: 3, K: 25,
+		TimeBudget: 10 * time.Second, GroundTruthEps: 1e-4,
+		Workers: 1, Seed: 20200614,
+		EpsGrid: []float64{1e-1, 1e-2, 1e-3, 1e-4},
+	}
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+// Point is one measured sweep point: a (dataset, method, parameter) cell
+// averaged over the query set.
+type Point struct {
+	Dataset string
+	Method  string
+	Param   string
+	// PrepSeconds and IndexBytes are zero for index-free methods.
+	PrepSeconds float64
+	IndexBytes  int64
+	// QuerySeconds is the mean per-query wall time.
+	QuerySeconds float64
+	// MaxError is the mean over queries of max_j |ŝ(j) − S(i,j)|.
+	MaxError float64
+	// Precision is the mean Precision@K.
+	Precision float64
+	// Omitted marks points skipped for exceeding the time budget.
+	Omitted bool
+	Reason  string
+}
+
+// Env bundles a generated dataset with its ground truth and query nodes.
+type Env struct {
+	Spec    dataset.Spec
+	G       *graph.Graph
+	Sources []graph.NodeID
+	// Truth[i] is the ground-truth single-source vector for Sources[i].
+	Truth [][]float64
+	// TruthKind records how the truth was produced ("powermethod" or
+	// "exactsim(eps)").
+	TruthKind string
+}
+
+// NewEnv generates the dataset and its ground truth per the paper's
+// policy. Expensive for small graphs (power method) — callers should reuse
+// the Env across figures.
+func NewEnv(cfg Config, spec dataset.Spec) (*Env, error) {
+	g := spec.Generate(cfg.Scale)
+	env := &Env{Spec: spec, G: g}
+	env.Sources = pickSources(g, cfg.Queries, cfg.Seed)
+
+	start := time.Now()
+	if spec.Class == dataset.Small {
+		cfg.logf("[%s] ground truth: power method on n=%d m=%d ...", spec.Key, g.N(), g.M())
+		L := powermethod.Iterations(cfg.C, 1e-9)
+		mat := powermethod.Compute(g, powermethod.Options{C: cfg.C, L: L, Workers: cfg.Workers})
+		for _, s := range env.Sources {
+			env.Truth = append(env.Truth, mat.SingleSource(s))
+		}
+		env.TruthKind = "powermethod"
+	} else {
+		cfg.logf("[%s] ground truth: ExactSim eps=%g on n=%d m=%d ...",
+			spec.Key, cfg.GroundTruthEps, g.N(), g.M())
+		eng, err := core.New(g, core.Options{
+			C: cfg.C, Epsilon: cfg.GroundTruthEps, Optimized: true,
+			Workers: cfg.Workers, Seed: cfg.Seed ^ 0xfeedface,
+			SampleFactor: cfg.SampleFactor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range env.Sources {
+			res, err := eng.SingleSource(s)
+			if err != nil {
+				return nil, err
+			}
+			env.Truth = append(env.Truth, res.Scores)
+		}
+		env.TruthKind = fmt.Sprintf("exactsim(%g)", cfg.GroundTruthEps)
+	}
+	cfg.logf("[%s] ground truth ready in %v", spec.Key, time.Since(start).Round(time.Millisecond))
+	return env, nil
+}
+
+// pickSources selects distinct query nodes deterministically, biased
+// towards nodes that actually have in-edges (degree-0 sources answer
+// trivially and would dilute the measurements).
+func pickSources(g *graph.Graph, count int, seed uint64) []graph.NodeID {
+	n := g.N()
+	if count > n {
+		count = n
+	}
+	r := rng.New(seed)
+	chosen := make(map[int32]bool, count)
+	out := make([]graph.NodeID, 0, count)
+	for attempts := 0; len(out) < count && attempts < 50*count; attempts++ {
+		v := int32(r.Intn(n))
+		if chosen[v] {
+			continue
+		}
+		if g.InDegree(v) == 0 && attempts < 25*count {
+			continue // prefer interesting sources while attempts remain
+		}
+		chosen[v] = true
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// kFor clamps the precision cutoff to a quarter of the graph so the
+// metric stays meaningful on scaled-down stand-ins.
+func (cfg Config) kFor(g *graph.Graph) int {
+	k := cfg.K
+	if max := g.N() / 4; k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// epsGrid is the shared error-parameter sweep (paper: 10⁻¹ … 10⁻⁷ "if
+// possible"; the time budget truncates it exactly like the 24 h rule).
+func (c Config) epsGrid() []float64 {
+	if len(c.EpsGrid) > 0 {
+		return c.EpsGrid
+	}
+	return []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7}
+}
+
+func fmtEps(eps float64) string { return fmt.Sprintf("eps=%.0e", eps) }
+
+// secs converts a duration to seconds with a floor that keeps downstream
+// rate predictions away from division by zero.
+func secs(d time.Duration) float64 { return math.Max(d.Seconds(), 1e-9) }

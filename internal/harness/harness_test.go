@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/exactsim/exactsim/internal/dataset"
+)
+
+// quick returns a configuration small enough for CI.
+func quick() Config {
+	c := Quick()
+	c.Scale = 0.01
+	c.Queries = 2
+	c.K = 10
+	c.TimeBudget = 2 * time.Second
+	c.EpsGrid = []float64{1e-1, 1e-2, 1e-3}
+	c.GroundTruthEps = 1e-3
+	c.SampleFactor = 0.5
+	return c
+}
+
+func TestPickSources(t *testing.T) {
+	spec, _ := dataset.ByKey("GQ")
+	g := spec.Generate(0.02)
+	srcs := pickSources(g, 5, 1)
+	if len(srcs) != 5 {
+		t.Fatalf("picked %d sources", len(srcs))
+	}
+	seen := map[int32]bool{}
+	for _, s := range srcs {
+		if seen[s] {
+			t.Fatal("duplicate source")
+		}
+		seen[s] = true
+		if int(s) >= g.N() {
+			t.Fatal("source out of range")
+		}
+	}
+	// determinism
+	again := pickSources(g, 5, 1)
+	for i := range srcs {
+		if srcs[i] != again[i] {
+			t.Fatal("source selection not deterministic")
+		}
+	}
+}
+
+func TestNewEnvSmall(t *testing.T) {
+	cfg := quick()
+	spec, _ := dataset.ByKey("GQ")
+	env, err := NewEnv(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.TruthKind != "powermethod" {
+		t.Fatalf("small graph truth kind %q", env.TruthKind)
+	}
+	if len(env.Truth) != len(env.Sources) {
+		t.Fatal("truth/source mismatch")
+	}
+	for i, s := range env.Sources {
+		if env.Truth[i][s] != 1 {
+			t.Fatalf("truth self-score %g", env.Truth[i][s])
+		}
+	}
+}
+
+func TestNewEnvLarge(t *testing.T) {
+	cfg := quick()
+	spec, _ := dataset.ByKey("DB")
+	env, err := NewEnv(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(env.TruthKind, "exactsim") {
+		t.Fatalf("large graph truth kind %q", env.TruthKind)
+	}
+}
+
+func TestSweepExactSimProducesMonotonePoints(t *testing.T) {
+	cfg := quick()
+	spec, _ := dataset.ByKey("GQ")
+	env, err := NewEnv(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := SweepExactSim(cfg, env, true)
+	if len(pts) != len(cfg.epsGrid()) {
+		t.Fatalf("expected %d points, got %d", len(cfg.epsGrid()), len(pts))
+	}
+	// the first (loosest) point must have run and met its error target
+	if pts[0].Omitted {
+		t.Fatalf("eps=1e-1 point omitted: %s", pts[0].Reason)
+	}
+	if pts[0].MaxError > 1e-1 {
+		t.Fatalf("eps=1e-1 measured error %g", pts[0].MaxError)
+	}
+	for _, p := range pts {
+		if !p.Omitted && p.QuerySeconds <= 0 {
+			t.Fatalf("point %v has no query time", p.Param)
+		}
+	}
+}
+
+func TestSweepAllCoversMethods(t *testing.T) {
+	cfg := quick()
+	spec, _ := dataset.ByKey("GQ")
+	env, err := NewEnv(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := SweepAll(cfg, env)
+	methods := map[string]bool{}
+	for _, p := range pts {
+		methods[p.Method] = true
+	}
+	for _, want := range []string{"ExactSim", "MC", "ParSim", "Linearization", "PRSim"} {
+		if !methods[want] {
+			t.Fatalf("sweep missing method %s (have %v)", want, methods)
+		}
+	}
+}
+
+func TestRunnerFigureProjections(t *testing.T) {
+	cfg := quick()
+	r := NewRunner(cfg)
+	rep1, err := r.Run("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Points) == 0 {
+		t.Fatal("fig1 produced no points")
+	}
+	// fig2 must reuse the cached sweep: same number of points
+	rep2, err := r.Run("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Points) != len(rep1.Points) {
+		t.Fatalf("fig1/fig2 point counts differ: %d vs %d",
+			len(rep1.Points), len(rep2.Points))
+	}
+	// figs 3/4 restrict to index methods
+	rep3, err := r.Run("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep3.Points {
+		if !isIndexMethod(p.Method) {
+			t.Fatalf("fig3 contains index-free method %s", p.Method)
+		}
+	}
+}
+
+func TestRunnerTable2(t *testing.T) {
+	r := NewRunner(quick())
+	rep, err := r.Run("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Preformatted, "ca-GrQc") {
+		t.Fatal("table2 output incomplete")
+	}
+}
+
+func TestRunnerTable3(t *testing.T) {
+	r := NewRunner(quick())
+	rep, err := r.Run("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("table3 rows: %d", len(rep.Rows))
+	}
+}
+
+func TestRunnerUnknownID(t *testing.T) {
+	r := NewRunner(quick())
+	if _, err := r.Run("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestReportWriteAndCSV(t *testing.T) {
+	cfg := quick()
+	r := NewRunner(cfg)
+	rep, err := r.Run("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, csvBuf bytes.Buffer
+	if err := rep.Write(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "ExactSim-basic") {
+		t.Fatalf("fig9 table missing the ablation baseline:\n%s", tbl.String())
+	}
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != len(rep.Points)+1 {
+		t.Fatalf("CSV rows %d for %d points", len(lines), len(rep.Points))
+	}
+}
+
+func TestBudgetOmission(t *testing.T) {
+	cfg := quick()
+	cfg.TimeBudget = 1 * time.Millisecond // everything over budget fast
+	spec, _ := dataset.ByKey("GQ")
+	env, err := NewEnv(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := SweepLinearization(cfg, env)
+	omitted := 0
+	for _, p := range pts {
+		if p.Omitted {
+			omitted++
+		}
+	}
+	if omitted < len(pts)-2 {
+		t.Fatalf("tiny budget should omit nearly everything: %d/%d", omitted, len(pts))
+	}
+}

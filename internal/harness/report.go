@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report is the rendered result of one experiment id.
+type Report struct {
+	ID    string
+	Title string
+	// Header/Rows hold tabular output; Preformatted (if set) is printed
+	// verbatim instead (Table 2).
+	Header       []string
+	Rows         [][]string
+	Preformatted string
+	// Points keeps the raw measurements for programmatic use.
+	Points []Point
+}
+
+func newReport(id, title string) *Report {
+	return &Report{
+		ID:    id,
+		Title: title,
+		Header: []string{
+			"dataset", "method", "param", "x", "y", "note",
+		},
+	}
+}
+
+// add projects a point onto the report's (x, y) axes.
+func (r *Report) add(p Point, proj projection) {
+	r.Points = append(r.Points, p)
+	if p.Omitted {
+		r.Rows = append(r.Rows, []string{
+			p.Dataset, p.Method, p.Param, "-", "-", "omitted: " + p.Reason,
+		})
+		return
+	}
+	var x, y string
+	switch proj {
+	case projError:
+		x = fmt.Sprintf("%.4gs", p.QuerySeconds)
+		y = fmt.Sprintf("maxerr=%.3e", p.MaxError)
+	case projPrecision:
+		x = fmt.Sprintf("%.4gs", p.QuerySeconds)
+		y = fmt.Sprintf("prec=%.4f", p.Precision)
+	case projPrep:
+		x = fmt.Sprintf("%.4gs", p.PrepSeconds)
+		y = fmt.Sprintf("maxerr=%.3e", p.MaxError)
+	case projIndex:
+		x = fmt.Sprintf("%.3fMB", float64(p.IndexBytes)/(1<<20))
+		y = fmt.Sprintf("maxerr=%.3e", p.MaxError)
+	}
+	r.Rows = append(r.Rows, []string{p.Dataset, p.Method, p.Param, x, y, ""})
+}
+
+// Write renders the report as an aligned ASCII table.
+func (r *Report) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if r.Preformatted != "" {
+		_, err := io.WriteString(w, r.Preformatted)
+		return err
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			pad := widths[i]
+			if _, err := fmt.Fprintf(w, "%-*s  ", pad, cell); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := writeRow(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the raw points as CSV for plotting.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"experiment", "dataset", "method", "param",
+		"prep_seconds", "index_bytes", "query_seconds",
+		"max_error", "precision", "omitted", "reason",
+	}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		rec := []string{
+			r.ID, p.Dataset, p.Method, p.Param,
+			strconv.FormatFloat(p.PrepSeconds, 'g', 6, 64),
+			strconv.FormatInt(p.IndexBytes, 10),
+			strconv.FormatFloat(p.QuerySeconds, 'g', 6, 64),
+			strconv.FormatFloat(p.MaxError, 'g', 6, 64),
+			strconv.FormatFloat(p.Precision, 'g', 6, 64),
+			strconv.FormatBool(p.Omitted),
+			p.Reason,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,298 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/eval"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/lineariz"
+	"github.com/exactsim/exactsim/internal/mc"
+	"github.com/exactsim/exactsim/internal/parsim"
+	"github.com/exactsim/exactsim/internal/prsim"
+)
+
+// queryFunc produces a single-source score vector.
+type queryFunc func(src graph.NodeID) []float64
+
+// measure runs the query set for one sweep point and aggregates metrics.
+// The time budget stops further queries once exceeded; the point keeps the
+// averages over the queries that did run.
+func (cfg Config) measure(env *Env, method, param string,
+	prep time.Duration, indexBytes int64, q queryFunc) Point {
+
+	p := Point{
+		Dataset: env.Spec.Key, Method: method, Param: param,
+		PrepSeconds: secs(prep), IndexBytes: indexBytes,
+	}
+	if prep == 0 {
+		p.PrepSeconds = 0
+	}
+	k := cfg.kFor(env.G)
+	var queryTotal time.Duration
+	ran := 0
+	for i, src := range env.Sources {
+		start := time.Now()
+		scores := q(src)
+		queryTotal += time.Since(start)
+		p.MaxError += eval.MaxError(scores, env.Truth[i])
+		p.Precision += eval.PrecisionAtK(scores, env.Truth[i], k, src)
+		ran++
+		if queryTotal > cfg.TimeBudget {
+			break
+		}
+	}
+	if ran == 0 {
+		p.Omitted = true
+		p.Reason = "no queries completed"
+		return p
+	}
+	p.QuerySeconds = queryTotal.Seconds() / float64(ran)
+	p.MaxError /= float64(ran)
+	p.Precision /= float64(ran)
+	cfg.logf("  %-12s %-14s prep=%8.3fs query=%8.4fs maxerr=%.3e prec@%d=%.3f",
+		method, param, p.PrepSeconds, p.QuerySeconds, p.MaxError, k, p.Precision)
+	return p
+}
+
+func omittedPoint(env *Env, method, param, reason string) Point {
+	return Point{Dataset: env.Spec.Key, Method: method, Param: param,
+		Omitted: true, Reason: reason}
+}
+
+// budgetExceeded reports whether a measured point already blew the budget,
+// which terminates its sweep (costs grow monotonically along each grid).
+func (cfg Config) budgetExceeded(p Point) bool {
+	return p.PrepSeconds+p.QuerySeconds*float64(cfg.Queries) > cfg.TimeBudget.Seconds()
+}
+
+// predictedOver estimates the next point's cost from the previous one and
+// a growth factor, and gates it against 3× the budget (run slightly-over
+// points so the figure keeps its knee, skip hopeless ones).
+func (cfg Config) predictedOver(prev Point, growth float64) bool {
+	if prev.Omitted {
+		return true
+	}
+	predicted := (prev.PrepSeconds + prev.QuerySeconds*float64(cfg.Queries)) * growth
+	return predicted > 3*cfg.TimeBudget.Seconds()
+}
+
+// SweepExactSim sweeps ExactSim (optimized or basic) over the ε grid.
+func SweepExactSim(cfg Config, env *Env, optimized bool) []Point {
+	name := "ExactSim"
+	if !optimized {
+		name = "ExactSim-basic"
+	}
+	var out []Point
+	for i, eps := range cfg.epsGrid() {
+		param := fmtEps(eps)
+		if i > 0 && cfg.predictedOver(out[i-1], 8) {
+			out = append(out, omittedPoint(env, name, param, "predicted over budget"))
+			continue
+		}
+		eng, err := core.New(env.G, core.Options{
+			C: cfg.C, Epsilon: eps, Optimized: optimized,
+			Seed: cfg.Seed + uint64(i), SampleFactor: cfg.SampleFactor,
+		})
+		if err != nil {
+			out = append(out, omittedPoint(env, name, param, err.Error()))
+			continue
+		}
+		p := cfg.measure(env, name, param, 0, 0, func(src graph.NodeID) []float64 {
+			res, qerr := eng.SingleSource(src)
+			if qerr != nil {
+				panic(qerr) // sources are validated; unreachable
+			}
+			return res.Scores
+		})
+		out = append(out, p)
+		if cfg.budgetExceeded(p) {
+			for _, eps2 := range cfg.epsGrid()[i+1:] {
+				out = append(out, omittedPoint(env, name, fmtEps(eps2), "over budget"))
+			}
+			break
+		}
+	}
+	return out
+}
+
+// SweepMC sweeps the Monte-Carlo baseline over its (L, r) grid.
+func SweepMC(cfg Config, env *Env) []Point {
+	grid := []struct{ L, R int }{
+		{5, 50}, {10, 100}, {20, 300}, {30, 1000}, {50, 3000}, {50, 10000},
+	}
+	var out []Point
+	for i, g := range grid {
+		param := fmt.Sprintf("(L,r)=(%d,%d)", g.L, g.R)
+		// predictive gate: building n·r walks at ~5e7 steps/s
+		est := float64(env.G.N()) * float64(g.R) * 4 / 5e7
+		if est > 3*cfg.TimeBudget.Seconds() || (i > 0 && cfg.predictedOver(out[i-1], 4)) {
+			out = append(out, omittedPoint(env, "MC", param, "predicted over budget"))
+			continue
+		}
+		ix := mc.Build(env.G, mc.Params{C: cfg.C, L: g.L, R: g.R, Seed: cfg.Seed + uint64(i)})
+		p := cfg.measure(env, "MC", param, ix.PrepTime, ix.Bytes(), ix.SingleSource)
+		out = append(out, p)
+		if cfg.budgetExceeded(p) {
+			for _, g2 := range grid[i+1:] {
+				out = append(out, omittedPoint(env, "MC",
+					fmt.Sprintf("(L,r)=(%d,%d)", g2.L, g2.R), "over budget"))
+			}
+			break
+		}
+	}
+	return out
+}
+
+// SweepParSim sweeps the iteration count L.
+func SweepParSim(cfg Config, env *Env) []Point {
+	grid := []int{5, 10, 20, 50, 100, 300}
+	var out []Point
+	for i, L := range grid {
+		param := fmt.Sprintf("L=%d", L)
+		if i > 0 && cfg.predictedOver(out[i-1], 4) {
+			out = append(out, omittedPoint(env, "ParSim", param, "predicted over budget"))
+			continue
+		}
+		eng := parsim.New(env.G, parsim.Params{C: cfg.C, L: L})
+		p := cfg.measure(env, "ParSim", param, 0, 0, eng.SingleSource)
+		out = append(out, p)
+		if cfg.budgetExceeded(p) {
+			for _, L2 := range grid[i+1:] {
+				out = append(out, omittedPoint(env, "ParSim",
+					fmt.Sprintf("L=%d", L2), "over budget"))
+			}
+			break
+		}
+	}
+	return out
+}
+
+// SweepLinearization sweeps ε; its preprocessing is the O(n·log n/ε²) wall
+// the paper highlights, so most of the grid gets omitted — by design.
+func SweepLinearization(cfg Config, env *Env) []Point {
+	var out []Point
+	for i, eps := range cfg.epsGrid() {
+		param := fmtEps(eps)
+		params := lineariz.Params{C: cfg.C, Eps: eps, Workers: 1,
+			Seed: cfg.Seed + uint64(i), SampleFactor: cfg.SampleFactor}
+		// predictive gate from the exact pair count (~5e7 walk steps/s,
+		// ~7 steps per pair)
+		est := float64(lineariz.PrepCost(env.G, params)) * 7 / 5e7
+		if est > 3*cfg.TimeBudget.Seconds() {
+			out = append(out, omittedPoint(env, "Linearization", param,
+				fmt.Sprintf("preprocessing predicted %.0fs", est)))
+			continue
+		}
+		ix := lineariz.Build(env.G, params)
+		p := cfg.measure(env, "Linearization", param, ix.PrepTime, ix.Bytes(), ix.SingleSource)
+		out = append(out, p)
+		if cfg.budgetExceeded(p) {
+			for _, eps2 := range cfg.epsGrid()[i+1:] {
+				out = append(out, omittedPoint(env, "Linearization", fmtEps(eps2), "over budget"))
+			}
+			break
+		}
+	}
+	return out
+}
+
+// SweepPRSim sweeps ε over the hub-index baseline.
+func SweepPRSim(cfg Config, env *Env) []Point {
+	var out []Point
+	for i, eps := range cfg.epsGrid() {
+		param := fmtEps(eps)
+		if i > 0 && cfg.predictedOver(out[i-1], 30) {
+			out = append(out, omittedPoint(env, "PRSim", param, "predicted over budget"))
+			continue
+		}
+		ix := prsim.Build(env.G, prsim.Params{
+			C: cfg.C, Eps: eps, Workers: 1,
+			Seed: cfg.Seed + uint64(i), SampleFactor: cfg.SampleFactor,
+		})
+		p := cfg.measure(env, "PRSim", param, ix.PrepTime, ix.Bytes(), ix.SingleSource)
+		out = append(out, p)
+		if cfg.budgetExceeded(p) {
+			for _, eps2 := range cfg.epsGrid()[i+1:] {
+				out = append(out, omittedPoint(env, "PRSim", fmtEps(eps2), "over budget"))
+			}
+			break
+		}
+	}
+	return out
+}
+
+// SweepAll runs every method's sweep on one dataset environment — the
+// shared measurement behind Figures 1–4 (small) and 5–8 (large).
+func SweepAll(cfg Config, env *Env) []Point {
+	var out []Point
+	cfg.logf("[%s] sweeping ExactSim", env.Spec.Key)
+	out = append(out, SweepExactSim(cfg, env, true)...)
+	cfg.logf("[%s] sweeping MC", env.Spec.Key)
+	out = append(out, SweepMC(cfg, env)...)
+	cfg.logf("[%s] sweeping ParSim", env.Spec.Key)
+	out = append(out, SweepParSim(cfg, env)...)
+	cfg.logf("[%s] sweeping Linearization", env.Spec.Key)
+	out = append(out, SweepLinearization(cfg, env)...)
+	cfg.logf("[%s] sweeping PRSim", env.Spec.Key)
+	out = append(out, SweepPRSim(cfg, env)...)
+	return out
+}
+
+// SweepAblation compares the optimized component stack for Figure 9 plus
+// the DESIGN.md "ablation-extra" variants.
+func SweepAblation(cfg Config, env *Env, extra bool) []Point {
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	variants := []variant{
+		{"ExactSim", core.Options{C: cfg.C, Optimized: true}},
+		{"ExactSim-basic", core.Options{C: cfg.C, Optimized: false}},
+	}
+	if extra {
+		variants = append(variants,
+			variant{"ExactSim-noPi2", core.Options{C: cfg.C, Optimized: true, NoPiSquaredSampling: true}},
+			variant{"ExactSim-noExploit", core.Options{C: cfg.C, Optimized: true, NoLocalExploit: true}},
+		)
+	}
+	var out []Point
+	for _, v := range variants {
+		cfg.logf("[%s] ablation variant %s", env.Spec.Key, v.name)
+		prev := Point{}
+		for i, eps := range cfg.epsGrid() {
+			param := fmtEps(eps)
+			if i > 0 && cfg.predictedOver(prev, 8) {
+				out = append(out, omittedPoint(env, v.name, param, "predicted over budget"))
+				prev = Point{Omitted: true}
+				continue
+			}
+			opt := v.opt
+			opt.Epsilon = eps
+			opt.Seed = cfg.Seed + uint64(i)
+			opt.SampleFactor = cfg.SampleFactor
+			eng, err := core.New(env.G, opt)
+			if err != nil {
+				out = append(out, omittedPoint(env, v.name, param, err.Error()))
+				continue
+			}
+			p := cfg.measure(env, v.name, param, 0, 0, func(src graph.NodeID) []float64 {
+				res, qerr := eng.SingleSource(src)
+				if qerr != nil {
+					panic(qerr)
+				}
+				return res.Scores
+			})
+			out = append(out, p)
+			prev = p
+			if cfg.budgetExceeded(p) {
+				for _, eps2 := range cfg.epsGrid()[i+1:] {
+					out = append(out, omittedPoint(env, v.name, fmtEps(eps2), "over budget"))
+				}
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package linalg implements the transition-operator products at the heart
+// of Linearization-style SimRank computation.
+//
+// P is the *reverse* transition matrix of the paper (Table 1):
+//
+//	P(i,j) = 1/d_in(v_j)  if v_i ∈ I(v_j), else 0.
+//
+// Probabilistically, applying P to a distribution moves a random walk to a
+// uniformly random in-neighbor:  (Px)(u) = Σ_{u→v} x(v)/d_in(v).
+// The transpose gathers:         (Pᵀx)(v) = (1/d_in(v)) Σ_{u∈I(v)} x(u).
+//
+// Operator caches 1/d_in and provides dense (optionally parallel) and
+// sparse products; the sparse forms realize the paper's sparse
+// linearization (§3.2) where per-level vectors stay truncated.
+package linalg
+
+import (
+	"sync"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// Operator applies P and Pᵀ for one graph. It is immutable after creation
+// and safe for concurrent use; per-call scratch is owned by the caller.
+type Operator struct {
+	g       *graph.Graph
+	invDin  []float64
+	workers int
+}
+
+// NewOperator builds an operator over g. workers ≤ 1 selects serial
+// execution; larger values shard dense products across that many
+// goroutines. The paper's experiments run single-threaded for parity
+// (§4, "single thread mode"), so the harness uses workers = 1.
+func NewOperator(g *graph.Graph, workers int) *Operator {
+	if workers < 1 {
+		workers = 1
+	}
+	inv := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		if d := g.InDegree(int32(v)); d > 0 {
+			inv[v] = 1 / float64(d)
+		}
+	}
+	return &Operator{g: g, invDin: inv, workers: workers}
+}
+
+// Graph returns the underlying graph.
+func (op *Operator) Graph() *graph.Graph { return op.g }
+
+// Workers returns the configured parallelism.
+func (op *Operator) Workers() int { return op.workers }
+
+// shard invokes fn(lo, hi) over a partition of [0, n) using the configured
+// worker count.
+func (op *Operator) shard(n int, fn func(lo, hi int32)) {
+	if op.workers == 1 || n < 4096 {
+		fn(0, int32(n))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + op.workers - 1) / op.workers
+	for w := 0; w < op.workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(int32(lo), int32(hi))
+	}
+	wg.Wait()
+}
+
+// ApplyP computes dst = scale·P·x. dst and x must have length n and must
+// not alias.
+func (op *Operator) ApplyP(dst, x []float64, scale float64) {
+	g := op.g
+	op.shard(g.N(), func(lo, hi int32) {
+		for u := lo; u < hi; u++ {
+			s := 0.0
+			for _, v := range g.OutNeighbors(u) {
+				s += x[v] * op.invDin[v]
+			}
+			dst[u] = scale * s
+		}
+	})
+}
+
+// ApplyPT computes dst = scale·Pᵀ·x. dst and x must have length n and must
+// not alias.
+func (op *Operator) ApplyPT(dst, x []float64, scale float64) {
+	g := op.g
+	op.shard(g.N(), func(lo, hi int32) {
+		for v := lo; v < hi; v++ {
+			s := 0.0
+			for _, u := range g.InNeighbors(v) {
+				s += x[u]
+			}
+			dst[v] = scale * s * op.invDin[v]
+		}
+	})
+}
+
+// ApplyPSparse computes scale·P·x for a sparse x, truncating result entries
+// ≤ threshold (pass 0 to keep all). acc is caller-owned scratch sized to n.
+func (op *Operator) ApplyPSparse(x *sparse.Vector, acc *sparse.Accumulator, scale, threshold float64) sparse.Vector {
+	g := op.g
+	for i, v := range x.Idx {
+		w := x.Val[i] * op.invDin[v] * scale
+		if w == 0 {
+			continue
+		}
+		for _, u := range g.InNeighbors(v) {
+			acc.Add(u, w)
+		}
+	}
+	return acc.Build(threshold)
+}
+
+// ApplyPTSparse computes scale·Pᵀ·x for a sparse x with truncation.
+func (op *Operator) ApplyPTSparse(x *sparse.Vector, acc *sparse.Accumulator, scale, threshold float64) sparse.Vector {
+	g := op.g
+	for i, u := range x.Idx {
+		w := x.Val[i] * scale
+		for _, v := range g.OutNeighbors(u) {
+			acc.Add(v, w*op.invDin[v])
+		}
+	}
+	return acc.Build(threshold)
+}
+
+// DenseP materializes P as a dense n×n row-major matrix. Intended only for
+// tests and the power-method baseline on small graphs.
+func DenseP(g *graph.Graph) [][]float64 {
+	n := g.N()
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = make([]float64, n)
+	}
+	for j := int32(0); j < int32(n); j++ {
+		d := g.InDegree(j)
+		if d == 0 {
+			continue
+		}
+		w := 1 / float64(d)
+		for _, i := range g.InNeighbors(j) {
+			mat[i][j] = w
+		}
+	}
+	return mat
+}

@@ -1,0 +1,134 @@
+package lineariz
+
+import (
+	"math"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/diag"
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+const c = 0.6
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestExactDiagonalMatchesPowerMethod(t *testing.T) {
+	// With the exact D, the query iteration must reproduce the power
+	// method within the c^L truncation tail: validates the eq.-5 nesting.
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := randomGraph(seed*3, 25, 90)
+		truth := powermethod.Compute(g, powermethod.Options{C: c, L: 60})
+		dExact := diag.ExactByIteration(g, c, 60)
+		ix := BuildWithDiagonal(g, Params{C: c, Eps: 1e-6}, dExact)
+		for _, src := range []int32{0, 12} {
+			got := ix.SingleSource(src)
+			for j := range got {
+				if math.Abs(got[j]-truth.At(int(src), j)) > 1e-6 {
+					t.Fatalf("seed %d src %d node %d: %g vs %g",
+						seed, src, j, got[j], truth.At(int(src), j))
+				}
+			}
+		}
+	}
+}
+
+func TestSampledBuildAccuracy(t *testing.T) {
+	g := randomGraph(11, 20, 80)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 60})
+	ix := Build(g, Params{C: c, Eps: 0.03, Seed: 7})
+	got := ix.SingleSource(4)
+	worst := 0.0
+	for j := range got {
+		if d := math.Abs(got[j] - truth.At(4, j)); d > worst {
+			worst = d
+		}
+	}
+	// D error ~ ε/√ln n per node; allow 3× headroom on the end-to-end error
+	if worst > 0.09 {
+		t.Fatalf("MaxError %g at eps=0.03", worst)
+	}
+}
+
+func TestPrepCostScalesWithEps(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	a := PrepCost(g, Params{C: c, Eps: 0.1})
+	b := PrepCost(g, Params{C: c, Eps: 0.01})
+	if b < 90*a || b > 110*a {
+		t.Fatalf("halving-eps-by-10 should cost ~100×: %d vs %d", a, b)
+	}
+	// cost is linear in n: the O(n·log n/ε²) wall
+	g2 := gen.BarabasiAlbert(200, 3, 1)
+	c2 := PrepCost(g2, Params{C: c, Eps: 0.1})
+	if c2 <= a {
+		t.Fatalf("cost did not grow with n: %d vs %d", a, c2)
+	}
+}
+
+func TestIndexSizeConstantInEps(t *testing.T) {
+	// Figure 4's vertical line: the index is just the diagonal.
+	g := gen.BarabasiAlbert(100, 3, 2)
+	d := make([]float64, g.N())
+	a := BuildWithDiagonal(g, Params{C: c, Eps: 0.1}, d)
+	b := BuildWithDiagonal(g, Params{C: c, Eps: 0.001}, d)
+	if a.Bytes() != b.Bytes() {
+		t.Fatalf("index size varies with eps: %d vs %d", a.Bytes(), b.Bytes())
+	}
+	if a.Bytes() != int64(g.N())*8 {
+		t.Fatalf("index size %d, want 8n", a.Bytes())
+	}
+}
+
+func TestLevels(t *testing.T) {
+	ix := BuildWithDiagonal(gen.Cycle(4), Params{C: c, Eps: 1e-4}, make([]float64, 4))
+	want := int(math.Ceil(math.Log(2e4) / math.Log(1/c)))
+	if got := ix.Levels(); got != want {
+		t.Fatalf("Levels = %d want %d", got, want)
+	}
+}
+
+func TestBuildRecordsPrepTime(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 3, 3)
+	ix := Build(g, Params{C: c, Eps: 0.2, Seed: 1})
+	if ix.PrepTime <= 0 {
+		t.Fatal("PrepTime not recorded")
+	}
+	if ix.SamplesPerNode <= 0 {
+		t.Fatal("SamplesPerNode not recorded")
+	}
+	if len(ix.Diagonal()) != g.N() {
+		t.Fatal("diagonal size mismatch")
+	}
+}
+
+func TestDiagonalValuesPlausible(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 4)
+	ix := Build(g, Params{C: c, Eps: 0.05, Seed: 9})
+	exact := diag.ExactByIteration(g, c, 60)
+	for k, dk := range ix.Diagonal() {
+		if dk < 0 || dk > 1 {
+			t.Fatalf("D(%d) = %g", k, dk)
+		}
+		if math.Abs(dk-exact[k]) > 0.1 {
+			t.Fatalf("D(%d) = %g vs exact %g", k, dk, exact[k])
+		}
+	}
+}
+
+func BenchmarkQueryEps1e2(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 5, 1)
+	ix := BuildWithDiagonal(g, Params{C: c, Eps: 1e-2}, make([]float64, g.N()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SingleSource(int32(i % g.N()))
+	}
+}

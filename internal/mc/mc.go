@@ -1,0 +1,100 @@
+// Package mc implements the Monte-Carlo SimRank baseline of Fogaras & Rácz
+// (paper §2, "MC"): an index of truncated √c-walk fingerprints.
+//
+// Preprocessing simulates r √c-walks of length ≤ L from every node and
+// stores them. A single-source query for v_i compares, for every node v_j
+// and every walk id, the stored trajectories of v_i and v_j; the fraction
+// of walk ids on which they meet estimates S(i,j) (paper eq. 2).
+//
+// The method's complexity is the paper's recurring villain: the index costs
+// O(n·r) walks and bytes, so driving the error to ε needs r = O(log n/ε²)
+// walks *per node* — the O(n·log n/ε²) wall that makes exactness
+// unreachable. The experiment harness reproduces exactly that wall
+// (Figures 1/3/4 and 5/7/8).
+package mc
+
+import (
+	"time"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/walk"
+)
+
+// Params are the two knobs the paper sweeps for MC: walk length L and
+// walks-per-node R (their "(L, r)" from (5,50) to (5000,50000)).
+type Params struct {
+	C    float64 // decay factor
+	L    int     // maximum walk length
+	R    int     // walks per node
+	Seed uint64
+}
+
+// Index is the walk-fingerprint index. Walks are stored flattened:
+// walk w of node v occupies data[offsets[v*R+w]:offsets[v*R+w+1]].
+type Index struct {
+	g       *graph.Graph
+	p       Params
+	offsets []int32
+	data    []graph.NodeID
+	// PrepTime records how long Build took (Figure 3/7 x-axis).
+	PrepTime time.Duration
+}
+
+// Build simulates and stores the walk index.
+func Build(g *graph.Graph, p Params) *Index {
+	start := time.Now()
+	n := g.N()
+	w := walk.NewWalker(g, p.C, p.Seed)
+	ix := &Index{g: g, p: p}
+	ix.offsets = make([]int32, n*p.R+1)
+	// expected walk length is √c/(1−√c) ≈ 3.4 for c=0.6; reserve generously
+	ix.data = make([]graph.NodeID, 0, n*p.R*4)
+	var buf []graph.NodeID
+	for v := 0; v < n; v++ {
+		for r := 0; r < p.R; r++ {
+			buf = w.Trajectory(int32(v), p.L, buf)
+			ix.data = append(ix.data, buf...)
+			ix.offsets[v*p.R+r+1] = int32(len(ix.data))
+		}
+	}
+	ix.PrepTime = time.Since(start)
+	return ix
+}
+
+// walkOf returns the stored trajectory for (node, walk id).
+func (ix *Index) walkOf(v graph.NodeID, r int) []graph.NodeID {
+	i := int(v)*ix.p.R + r
+	return ix.data[ix.offsets[i]:ix.offsets[i+1]]
+}
+
+// SingleSource estimates S(source, j) for every j by the meeting fraction
+// of the stored walk pairs.
+func (ix *Index) SingleSource(source graph.NodeID) []float64 {
+	n := ix.g.N()
+	scores := make([]float64, n)
+	inv := 1 / float64(ix.p.R)
+	// Pre-slice the source's walks once.
+	srcWalks := make([][]graph.NodeID, ix.p.R)
+	for r := 0; r < ix.p.R; r++ {
+		srcWalks[r] = ix.walkOf(source, r)
+	}
+	for j := 0; j < n; j++ {
+		met := 0
+		for r := 0; r < ix.p.R; r++ {
+			if walk.TrajectoriesMeet(srcWalks[r], ix.walkOf(int32(j), r)) {
+				met++
+			}
+		}
+		scores[j] = float64(met) * inv
+	}
+	scores[source] = 1
+	return scores
+}
+
+// Bytes returns the index footprint (Figure 4/8 x-axis).
+func (ix *Index) Bytes() int64 {
+	return int64(len(ix.offsets))*4 + int64(len(ix.data))*4
+}
+
+// Params returns the build parameters.
+func (ix *Index) Params() Params { return ix.p }

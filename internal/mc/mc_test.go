@@ -1,0 +1,133 @@
+package mc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+const c = 0.6
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestBuildShape(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	ix := Build(g, Params{C: c, L: 10, R: 20, Seed: 5})
+	if ix.Bytes() <= 0 {
+		t.Fatal("empty index")
+	}
+	if ix.PrepTime <= 0 {
+		t.Fatal("PrepTime not recorded")
+	}
+	// every stored walk begins at its node and respects the length cap
+	for v := int32(0); v < int32(g.N()); v++ {
+		for r := 0; r < 20; r++ {
+			w := ix.walkOf(v, r)
+			if len(w) == 0 || w[0] != v {
+				t.Fatalf("walk (%d,%d) malformed: %v", v, r, w)
+			}
+			if len(w) > 11 {
+				t.Fatalf("walk exceeds L: %d", len(w))
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 3, 2)
+	a := Build(g, Params{C: c, L: 8, R: 10, Seed: 9})
+	b := Build(g, Params{C: c, L: 8, R: 10, Seed: 9})
+	if !reflect.DeepEqual(a.data, b.data) {
+		t.Fatal("same-seed builds differ")
+	}
+}
+
+func TestSingleSourceBasics(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 3)
+	ix := Build(g, Params{C: c, L: 10, R: 50, Seed: 1})
+	s := ix.SingleSource(7)
+	if len(s) != g.N() {
+		t.Fatalf("scores length %d", len(s))
+	}
+	if s[7] != 1 {
+		t.Fatalf("self score %g", s[7])
+	}
+	for j, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("score %d = %g", j, v)
+		}
+	}
+}
+
+func TestAccuracyImprovesWithR(t *testing.T) {
+	g := randomGraph(7, 30, 120)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 50})
+	maxErrFor := func(R int) float64 {
+		ix := Build(g, Params{C: c, L: 30, R: R, Seed: 11})
+		worst := 0.0
+		for _, src := range []int32{0, 5, 10} {
+			s := ix.SingleSource(src)
+			for j := range s {
+				if d := math.Abs(s[j] - truth.At(int(src), j)); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	}
+	small := maxErrFor(20)
+	large := maxErrFor(2000)
+	if large > 0.05 {
+		t.Fatalf("R=2000 error %g too large", large)
+	}
+	if large >= small {
+		t.Fatalf("more walks did not help: R=20 → %g, R=2000 → %g", small, large)
+	}
+}
+
+func TestTruncationBiasVisible(t *testing.T) {
+	// L=1 truncates nearly all meetings: scores should underestimate badly
+	// on a graph with deep structure.
+	g := gen.Clique(10)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 50})
+	ix := Build(g, Params{C: c, L: 1, R: 3000, Seed: 3})
+	s := ix.SingleSource(0)
+	// the L=1 estimate only counts step-1 meetings: probability c/(n−1)
+	want1 := c / 9
+	if math.Abs(s[1]-want1) > 0.03 {
+		t.Fatalf("L=1 estimate %g want ≈ %g", s[1], want1)
+	}
+	if s[1] >= truth.At(0, 1) {
+		t.Fatalf("truncated estimate %g should undershoot truth %g", s[1], truth.At(0, 1))
+	}
+}
+
+func TestBytesGrowsWithR(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 3, 4)
+	a := Build(g, Params{C: c, L: 10, R: 10, Seed: 1})
+	b := Build(g, Params{C: c, L: 10, R: 100, Seed: 1})
+	if b.Bytes() <= a.Bytes() {
+		t.Fatalf("index size did not grow with R: %d vs %d", a.Bytes(), b.Bytes())
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 5, 1)
+	ix := Build(g, Params{C: c, L: 10, R: 100, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SingleSource(int32(i % g.N()))
+	}
+}

@@ -1,0 +1,147 @@
+package parsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/linalg"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+const c = 0.6
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+// bruteParSim evaluates Σ_{ℓ=0}^{L} c^ℓ (Pᵀ)^ℓ (1−c) P^ℓ e_src densely.
+func bruteParSim(g *graph.Graph, src graph.NodeID, L int) []float64 {
+	n := g.N()
+	P := linalg.DenseP(g)
+	mul := func(mat [][]float64, x []float64) []float64 {
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				y[i] += mat[i][j] * x[j]
+			}
+		}
+		return y
+	}
+	mulT := func(mat [][]float64, x []float64) []float64 {
+		y := make([]float64, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				y[j] += mat[i][j] * x[i]
+			}
+		}
+		return y
+	}
+	out := make([]float64, n)
+	u := make([]float64, n)
+	u[src] = 1
+	for ell := 0; ell <= L; ell++ {
+		v := append([]float64(nil), u...)
+		for s := 0; s < ell; s++ {
+			v = mulT(P, v)
+		}
+		w := math.Pow(c, float64(ell)) * (1 - c)
+		for i := range v {
+			out[i] += w * v[i]
+		}
+		u = mul(P, u)
+	}
+	out[src] = 1
+	return out
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := randomGraph(seed, 15, 50)
+		e := New(g, Params{C: c, L: 12})
+		for _, src := range []int32{0, 7} {
+			got := e.SingleSource(src)
+			want := bruteParSim(g, src, 12)
+			for j := range got {
+				if math.Abs(got[j]-want[j]) > 1e-9 {
+					t.Fatalf("seed %d src %d node %d: %g vs %g",
+						seed, src, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestBiasFloorOnStar(t *testing.T) {
+	// The paper's point: more iterations cannot repair the D=(1−c)I bias.
+	g := gen.Star(20)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 60})
+	worstAt := func(L int) float64 {
+		e := New(g, Params{C: c, L: L})
+		s := e.SingleSource(1)
+		worst := 0.0
+		for j := range s {
+			if d := math.Abs(s[j] - truth.At(1, j)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	e50, e500 := worstAt(50), worstAt(500)
+	if e500 < 1e-3 {
+		t.Fatalf("ParSim error %g suspiciously small — bias floor missing", e500)
+	}
+	if math.Abs(e50-e500) > 1e-6 {
+		t.Fatalf("error should have converged to the bias floor: %g vs %g", e50, e500)
+	}
+}
+
+func TestConvergesInL(t *testing.T) {
+	g := randomGraph(9, 30, 120)
+	e5 := New(g, Params{C: c, L: 5}).SingleSource(3)
+	e30 := New(g, Params{C: c, L: 30}).SingleSource(3)
+	e60 := New(g, Params{C: c, L: 60}).SingleSource(3)
+	d1, d2 := 0.0, 0.0
+	for j := range e5 {
+		d1 = math.Max(d1, math.Abs(e5[j]-e60[j]))
+		d2 = math.Max(d2, math.Abs(e30[j]-e60[j]))
+	}
+	if d2 >= d1 && d1 != 0 {
+		t.Fatalf("no convergence: |L5−L60|=%g, |L30−L60|=%g", d1, d2)
+	}
+	if d2 > math.Pow(c, 30) {
+		t.Fatalf("L=30 residual %g exceeds c^30", d2)
+	}
+}
+
+func TestSelfScoreOne(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 3, 13)
+	s := New(g, Params{C: c, L: 20}).SingleSource(8)
+	if s[8] != 1 {
+		t.Fatalf("self score %g", s[8])
+	}
+}
+
+func TestMaxLevelBytesPositive(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 17)
+	e := New(g, Params{C: c, L: 20})
+	if e.MaxLevelBytes(0) <= 0 {
+		t.Fatal("no level memory reported")
+	}
+}
+
+func BenchmarkQueryL50(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 5, 1)
+	e := New(g, Params{C: c, L: 50})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SingleSource(int32(i % g.N()))
+	}
+}

@@ -1,0 +1,182 @@
+// Package powermethod implements the classic exact all-pairs SimRank
+// algorithm of Jeh & Widom in the matrix form used by the paper (§2.1):
+//
+//	S = (c·Pᵀ·S·P) ∨ I ,
+//
+// iterated from S₀ = I, where ∨ is the element-wise maximum (which only
+// affects the diagonal, since off-diagonal entries of c·PᵀSP stay below 1).
+// After L iterations the additive error is at most c^L.
+//
+// This is the paper's ground-truth oracle for small graphs — and its
+// motivating obstacle: O(n²) space and O(n·m) time per iteration make it
+// infeasible beyond ~10⁶ nodes, which is exactly why ExactSim exists.
+package powermethod
+
+import (
+	"math"
+	"sync"
+
+	"github.com/exactsim/exactsim/internal/graph"
+)
+
+// Matrix is a dense row-major n×n similarity matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // row-major, len N*N
+}
+
+// At returns S(i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Row returns row i (aliased, do not modify).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.N : (i+1)*m.N] }
+
+// Options configures the power method.
+type Options struct {
+	C       float64 // decay factor; must be in (0,1)
+	L       int     // iterations; 0 picks ⌈log_{1/c}(1/eps)⌉ for eps=1e-9
+	Workers int     // row-parallelism; ≤1 means serial
+}
+
+// Iterations returns the iteration count that guarantees additive error eps.
+func Iterations(c, eps float64) int {
+	return int(math.Ceil(math.Log(1/eps) / math.Log(1/c)))
+}
+
+// Compute runs the power method and returns the SimRank matrix. Memory is
+// 2·n²·8 bytes; callers are expected to keep n modest (the whole point of
+// the paper).
+func Compute(g *graph.Graph, opt Options) *Matrix {
+	if opt.C <= 0 || opt.C >= 1 {
+		panic("powermethod: decay factor must lie in (0,1)")
+	}
+	L := opt.L
+	if L <= 0 {
+		L = Iterations(opt.C, 1e-9)
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.N()
+	cur := newIdentity(n)
+	tmp := &Matrix{N: n, Data: make([]float64, n*n)}
+	next := &Matrix{N: n, Data: make([]float64, n*n)}
+	invDin := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.InDegree(int32(v)); d > 0 {
+			invDin[v] = 1 / float64(d)
+		}
+	}
+	for iter := 0; iter < L; iter++ {
+		// tmp = S·P :  tmp(u,j) = (1/d_in(j))·Σ_{v∈I(j)} S(u,v)
+		parallelRows(n, workers, func(u int) {
+			srow := cur.Row(u)
+			trow := tmp.Row(u)
+			for j := 0; j < n; j++ {
+				if invDin[j] == 0 {
+					trow[j] = 0
+					continue
+				}
+				s := 0.0
+				for _, v := range g.InNeighbors(int32(j)) {
+					s += srow[v]
+				}
+				trow[j] = s * invDin[j]
+			}
+		})
+		// next = c·Pᵀ·tmp, then diagonal forced to 1 (the ∨ I step):
+		// next(i,j) = c·(1/d_in(i))·Σ_{u∈I(i)} tmp(u,j)
+		parallelRows(n, workers, func(i int) {
+			nrow := next.Row(i)
+			if invDin[i] == 0 {
+				for j := range nrow {
+					nrow[j] = 0
+				}
+			} else {
+				in := g.InNeighbors(int32(i))
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for _, u := range in {
+						s += tmp.At(int(u), j)
+					}
+					nrow[j] = opt.C * s * invDin[i]
+				}
+			}
+			nrow[i] = 1
+		})
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func newIdentity(n int) *Matrix {
+	m := &Matrix{N: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+func parallelRows(n, workers int, fn func(row int)) {
+	if workers == 1 || n < 256 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SingleSource extracts the single-source vector for node i as a copy.
+func (m *Matrix) SingleSource(i graph.NodeID) []float64 {
+	return append([]float64(nil), m.Row(int(i))...)
+}
+
+// ExactD derives the diagonal correction matrix D from an exact SimRank
+// matrix via D(k,k) = 1 − c·(PᵀSP)(k,k): the meeting probability of two
+// √c-walks from v_k equals the (k,k) entry of c·PᵀSP (first step must
+// survive on both sides, then the pair behaves like an (i,j) pair whose
+// meeting probability is S(i,j), with S(i,i)=1 capturing "already met").
+func ExactD(g *graph.Graph, c float64, s *Matrix) []float64 {
+	n := g.N()
+	d := make([]float64, n)
+	for k := 0; k < n; k++ {
+		din := g.InDegree(int32(k))
+		if din == 0 {
+			d[k] = 1
+			continue
+		}
+		in := g.InNeighbors(int32(k))
+		sum := 0.0
+		for _, u := range in {
+			for _, v := range in {
+				sum += s.At(int(u), int(v))
+			}
+		}
+		d[k] = 1 - c*sum/float64(din*din)
+	}
+	return d
+}
+
+// Bytes returns the matrix's memory footprint.
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }

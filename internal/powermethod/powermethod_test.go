@@ -1,0 +1,266 @@
+package powermethod
+
+import (
+	"math"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+const c = 0.6
+
+func compute(g *graph.Graph, L int) *Matrix {
+	return Compute(g, Options{C: c, L: L})
+}
+
+func TestIterations(t *testing.T) {
+	L := Iterations(0.6, 1e-7)
+	// c^L ≤ 1e-7 and c^{L-1} > 1e-7
+	if math.Pow(0.6, float64(L)) > 1e-7 {
+		t.Fatalf("c^%d = %g > 1e-7", L, math.Pow(0.6, float64(L)))
+	}
+	if math.Pow(0.6, float64(L-1)) <= 1e-7 {
+		t.Fatalf("L=%d not minimal", L)
+	}
+}
+
+func TestDiagonalIsOne(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 3, 1)
+	s := compute(g, 20)
+	for i := 0; i < g.N(); i++ {
+		if s.At(i, i) != 1 {
+			t.Fatalf("S(%d,%d) = %g", i, i, s.At(i, i))
+		}
+	}
+}
+
+func TestRangeAndSymmetry(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		for e := 0; e < n*3; e++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		s := compute(g, 25)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 {
+					t.Fatalf("S(%d,%d) = %g out of [0,1]", i, j, v)
+				}
+				if math.Abs(v-s.At(j, i)) > 1e-12 {
+					t.Fatalf("asymmetric at (%d,%d): %g vs %g", i, j, v, s.At(j, i))
+				}
+				if i != j && v > c {
+					t.Fatalf("off-diagonal S(%d,%d)=%g exceeds c", i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPairGraphIsZero(t *testing.T) {
+	// Two nodes joined by an undirected edge: walks alternate parity and
+	// never meet, so S(0,1) = 0 — the classic SimRank parity artifact.
+	g := graph.FromUndirectedEdges(2, [][2]int32{{0, 1}})
+	s := compute(g, 40)
+	if s.At(0, 1) != 0 {
+		t.Fatalf("pair graph S(0,1) = %g want 0", s.At(0, 1))
+	}
+}
+
+func TestCycleOffDiagonalZero(t *testing.T) {
+	g := gen.Cycle(6)
+	s := compute(g, 40)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j && s.At(i, j) != 0 {
+				t.Fatalf("cycle S(%d,%d) = %g", i, j, s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestStarClosedForm(t *testing.T) {
+	// Star center 0, leaves 1..n−1: S(leaf,leaf') = c, S(center,leaf) = 0.
+	n := 7
+	g := gen.Star(n)
+	s := compute(g, 50)
+	for a := 1; a < n; a++ {
+		if math.Abs(s.At(0, a)) > 1e-12 {
+			t.Fatalf("S(center,%d) = %g want 0", a, s.At(0, a))
+		}
+		for b := 1; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if math.Abs(s.At(a, b)-c) > 1e-12 {
+				t.Fatalf("S(%d,%d) = %g want %g", a, b, s.At(a, b), c)
+			}
+		}
+	}
+}
+
+func TestCliqueClosedForm(t *testing.T) {
+	// From distinct clique nodes: M' = c·q/(1−c(1−q)), q=(n−2)/(n−1)².
+	n := 6
+	g := gen.Clique(n)
+	s := compute(g, 60)
+	q := float64(n-2) / float64((n-1)*(n-1))
+	want := c * q / (1 - c*(1-q))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(s.At(i, j)-want) > 1e-12 {
+				t.Fatalf("clique S(%d,%d) = %g want %g", i, j, s.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFixedPointResidual(t *testing.T) {
+	// S_L must satisfy the SimRank recurrence up to c^L.
+	r := rng.New(9)
+	n := 25
+	b := graph.NewBuilder(n)
+	for e := 0; e < 80; e++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	g := b.Build()
+	L := 40
+	s := compute(g, L)
+	tol := math.Pow(c, float64(L)) + 1e-10
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			di, dj := g.InDegree(int32(i)), g.InDegree(int32(j))
+			want := 0.0
+			if di > 0 && dj > 0 {
+				sum := 0.0
+				for _, u := range g.InNeighbors(int32(i)) {
+					for _, v := range g.InNeighbors(int32(j)) {
+						sum += s.At(int(u), int(v))
+					}
+				}
+				want = c * sum / float64(di*dj)
+			}
+			if math.Abs(s.At(i, j)-want) > tol {
+				t.Fatalf("residual at (%d,%d): %g vs %g", i, j, s.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestConvergenceRate(t *testing.T) {
+	g := gen.BarabasiAlbert(40, 3, 5)
+	s20 := compute(g, 20)
+	s45 := compute(g, 45)
+	maxDiff := 0.0
+	for i := range s20.Data {
+		if d := math.Abs(s20.Data[i] - s45.Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	bound := math.Pow(c, 20)
+	if maxDiff > bound {
+		t.Fatalf("iteration-20 error %g exceeds c^20 = %g", maxDiff, bound)
+	}
+	if maxDiff == 0 {
+		t.Fatal("suspicious exact convergence at L=20")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 4, 7)
+	a := Compute(g, Options{C: c, L: 15, Workers: 1})
+	b := Compute(g, Options{C: c, L: 15, Workers: 4})
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("parallel result differs at %d", i)
+		}
+	}
+}
+
+func TestSingleSourceIsCopy(t *testing.T) {
+	g := gen.Star(5)
+	s := compute(g, 20)
+	row := s.SingleSource(1)
+	row[0] = 99
+	if s.At(1, 0) == 99 {
+		t.Fatal("SingleSource aliases matrix storage")
+	}
+}
+
+func TestExactDTrivialCases(t *testing.T) {
+	// Path 0→1→2: d_in(0)=0 → D=1; d_in(1)=d_in(2)=1 → D=1−c.
+	g := gen.Path(3)
+	s := compute(g, 40)
+	d := ExactD(g, c, s)
+	if d[0] != 1 {
+		t.Fatalf("D(0) = %g want 1 (dead end)", d[0])
+	}
+	for _, k := range []int{1, 2} {
+		if math.Abs(d[k]-(1-c)) > 1e-12 {
+			t.Fatalf("D(%d) = %g want %g", k, d[k], 1-c)
+		}
+	}
+}
+
+func TestExactDStar(t *testing.T) {
+	// Center of an n-star: D = 1 − c·(1 + (n−2)c)/(n−1).
+	n := 7
+	g := gen.Star(n)
+	s := compute(g, 60)
+	d := ExactD(g, c, s)
+	leaves := float64(n - 1)
+	want := 1 - c*(1+(leaves-1)*c)/leaves
+	if math.Abs(d[0]-want) > 1e-12 {
+		t.Fatalf("star center D = %g want %g", d[0], want)
+	}
+	// leaves have d_in = 1
+	if math.Abs(d[1]-(1-c)) > 1e-12 {
+		t.Fatalf("leaf D = %g", d[1])
+	}
+}
+
+func TestExactDRange(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		for e := 0; e < n*4; e++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		s := compute(g, 40)
+		for k, dk := range ExactD(g, c, s) {
+			if dk < 1-c-1e-9 || dk > 1+1e-9 {
+				t.Fatalf("D(%d) = %g outside [1−c, 1]", k, dk)
+			}
+		}
+	}
+}
+
+func TestMatrixBytes(t *testing.T) {
+	g := gen.Cycle(10)
+	s := compute(g, 5)
+	if s.Bytes() != 800 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}
+
+func BenchmarkPowerMethod1K(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g, Options{C: c, L: 10})
+	}
+}

@@ -1,0 +1,143 @@
+// Package probesim implements ProbeSim (Liu et al., PVLDB 2017), the
+// index-free single-source baseline the paper discusses in §2.1 (it is
+// also the origin of the pooling protocol). The paper's figures do not
+// include it — its O(n·log n/ε²) query complexity parallels MC — so this
+// package is an extension beyond the evaluated five methods, useful as an
+// independent cross-check.
+//
+// Estimator. For each of R samples, simulate one √c-walk W from the
+// source. Conditioned on W, the probability that an independent √c-walk
+// from j meets W is computed for every j by one backward probe pass over
+// W using
+//
+//	C_t(x) = 1                                   if x = W[t]
+//	C_t(x) = (√c/d_in(x))·Σ_{y∈I(x)} C_{t+1}(y)  otherwise
+//
+// (being at W[t] at step t is a meeting with certainty; C beyond the
+// walk's stopping point is 0). Then ŝ_W(j) = (√c·Pᵀ·C_1)(j) is
+// Pr[walk from j first co-locates with W at some step ≥ 1], and averaging
+// ŝ_W over samples estimates S(source, j) = E_W Pr[meet W] (paper eq. 2)
+// without bias. Probe supports stay sparse; entries below Threshold are
+// pruned — ProbeSim's pruning knob, a one-sided (downward) bias bounded
+// by the truncated mass.
+package probesim
+
+import (
+	"math"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/linalg"
+	"github.com/exactsim/exactsim/internal/sparse"
+	"github.com/exactsim/exactsim/internal/walk"
+)
+
+// Params configures a ProbeSim engine.
+type Params struct {
+	C   float64 // decay factor
+	Eps float64 // error target; drives R = ⌈SampleFactor·ln n/ε²⌉
+	// SampleFactor scales the sample count (0 selects 1.0).
+	SampleFactor float64
+	// Threshold prunes probe entries; 0 selects (1−√c)²·Eps/4.
+	Threshold float64
+	// MaxWalkLen caps sampled walks; 0 selects ⌈log_{1/c}(2/Eps)⌉.
+	MaxWalkLen int
+	Seed       uint64
+}
+
+// Engine answers ProbeSim single-source queries. Index-free: all state is
+// per-query scratch.
+type Engine struct {
+	g  *graph.Graph
+	op *linalg.Operator
+	p  Params
+	r  int // samples per query
+	l  int // walk length cap
+}
+
+// New validates parameters and returns an engine.
+func New(g *graph.Graph, p Params) *Engine {
+	if p.C <= 0 || p.C >= 1 {
+		panic("probesim: decay factor must lie in (0,1)")
+	}
+	if p.Eps <= 0 || p.Eps >= 1 {
+		panic("probesim: eps must lie in (0,1)")
+	}
+	if p.SampleFactor == 0 {
+		p.SampleFactor = 1
+	}
+	sqrtC := math.Sqrt(p.C)
+	if p.Threshold == 0 {
+		p.Threshold = (1 - sqrtC) * (1 - sqrtC) * p.Eps / 4
+	}
+	if p.MaxWalkLen == 0 {
+		p.MaxWalkLen = int(math.Ceil(math.Log(2/p.Eps) / math.Log(1/p.C)))
+	}
+	ln := math.Log(float64(g.N()))
+	if ln < 1 {
+		ln = 1
+	}
+	r := int(math.Ceil(p.SampleFactor * ln / (p.Eps * p.Eps)))
+	if r < 1 {
+		r = 1
+	}
+	return &Engine{g: g, op: linalg.NewOperator(g, 1), p: p, r: r, l: p.MaxWalkLen}
+}
+
+// Samples returns the per-query sample count R.
+func (e *Engine) Samples() int { return e.r }
+
+// SingleSource estimates S(source, j) for all j.
+func (e *Engine) SingleSource(source graph.NodeID) []float64 {
+	n := e.g.N()
+	scores := make([]float64, n)
+	w := walk.NewWalker(e.g, e.p.C, e.p.Seed^(0x9e3779b97f4a7c15*uint64(source+1)))
+	acc := sparse.NewAccumulator(n)
+	var traj []graph.NodeID
+	inv := 1 / float64(e.r)
+	for s := 0; s < e.r; s++ {
+		traj = w.Trajectory(source, e.l, traj)
+		probe := e.probe(traj, acc)
+		for i, j := range probe.Idx {
+			scores[j] += inv * probe.Val[i]
+		}
+	}
+	scores[source] = 1
+	return scores
+}
+
+// probe runs the backward pass over one sampled trajectory and returns
+// ŝ_W as a sparse vector over j.
+func (e *Engine) probe(traj []graph.NodeID, acc *sparse.Accumulator) sparse.Vector {
+	sqrtC := math.Sqrt(e.p.C)
+	cur := sparse.Vector{} // C beyond the walk's end is zero
+	for t := len(traj) - 1; t >= 1; t-- {
+		cur = e.op.ApplyPTSparse(&cur, acc, sqrtC, e.p.Threshold)
+		// Being at W[t] at step t is a certain meeting, regardless of the
+		// diffusion value: overwrite with 1.
+		cur = setEntry(cur, traj[t], 1)
+	}
+	// ŝ_W = √c·Pᵀ·C_1: step 0 cannot collide for j ≠ source.
+	return e.op.ApplyPTSparse(&cur, acc, sqrtC, e.p.Threshold)
+}
+
+// setEntry sets v[node] = val, inserting while preserving index order.
+func setEntry(v sparse.Vector, node graph.NodeID, val float64) sparse.Vector {
+	for i, idx := range v.Idx {
+		if idx == node {
+			v.Val[i] = val
+			return v
+		}
+		if idx > node {
+			v.Idx = append(v.Idx, 0)
+			v.Val = append(v.Val, 0)
+			copy(v.Idx[i+1:], v.Idx[i:])
+			copy(v.Val[i+1:], v.Val[i:])
+			v.Idx[i] = node
+			v.Val[i] = val
+			return v
+		}
+	}
+	v.Idx = append(v.Idx, node)
+	v.Val = append(v.Val, val)
+	return v
+}

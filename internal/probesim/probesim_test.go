@@ -1,0 +1,160 @@
+package probesim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/rng"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+const c = 0.6
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestParamValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	for _, bad := range []Params{{C: 0, Eps: 0.1}, {C: 1, Eps: 0.1}, {C: 0.6, Eps: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("params %+v accepted", bad)
+				}
+			}()
+			New(g, bad)
+		}()
+	}
+	e := New(g, Params{C: c, Eps: 0.1})
+	if e.Samples() < 1 {
+		t.Fatal("no samples configured")
+	}
+}
+
+func TestMatchesPowerMethodOnSmallGraphs(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := randomGraph(seed*7, 30, 120)
+		truth := powermethod.Compute(g, powermethod.Options{C: c, L: 50})
+		e := New(g, Params{C: c, Eps: 0.02, Seed: seed})
+		for _, src := range []int32{0, 15} {
+			got := e.SingleSource(src)
+			worst := 0.0
+			for j := range got {
+				if d := math.Abs(got[j] - truth.At(int(src), j)); d > worst {
+					worst = d
+				}
+			}
+			// sampling noise ~ eps·couple + pruning bias
+			if worst > 0.06 {
+				t.Fatalf("seed %d src %d: MaxError %g", seed, src, worst)
+			}
+		}
+	}
+}
+
+func TestProbeExactOnStar(t *testing.T) {
+	// From a leaf of a star, a sampled walk alternates leaf→center→leaf…
+	// Conditioned on any surviving walk, Pr[walk from another leaf meets
+	// it] is dominated by the step-1 center meeting: both must survive
+	// one step → ŝ averages to S(leaf,leaf') = c.
+	g := gen.Star(8)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 50})
+	e := New(g, Params{C: c, Eps: 0.01, Seed: 3})
+	got := e.SingleSource(1)
+	for j := 2; j < 8; j++ {
+		if math.Abs(got[j]-truth.At(1, j)) > 0.01 {
+			t.Fatalf("leaf %d: %g vs %g", j, got[j], truth.At(1, j))
+		}
+	}
+	if math.Abs(got[0]-truth.At(1, 0)) > 0.01 {
+		t.Fatalf("center: %g vs %g", got[0], truth.At(1, 0))
+	}
+}
+
+func TestSelfScoreOne(t *testing.T) {
+	g := gen.Clique(6)
+	e := New(g, Params{C: c, Eps: 0.05, Seed: 5})
+	if s := e.SingleSource(2); s[2] != 1 {
+		t.Fatalf("self score %g", s[2])
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 3, 9)
+	a := New(g, Params{C: c, Eps: 0.05, Seed: 11}).SingleSource(4)
+	b := New(g, Params{C: c, Eps: 0.05, Seed: 11}).SingleSource(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestScoresInRange(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 13)
+	s := New(g, Params{C: c, Eps: 0.05, Seed: 17}).SingleSource(0)
+	for j, v := range s {
+		if v < 0 || v > 1+1e-12 {
+			t.Fatalf("score %d = %g", j, v)
+		}
+	}
+}
+
+func TestDeadEndSource(t *testing.T) {
+	// Source with no in-neighbors: its walk never moves, so nothing can
+	// meet it at step ≥ 1 — all similarities are zero.
+	b := graph.NewBuilder(4)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	s := New(g, Params{C: c, Eps: 0.05, Seed: 19}).SingleSource(0)
+	for j := 1; j < 4; j++ {
+		if s[j] != 0 {
+			t.Fatalf("dead-end source similarity to %d = %g", j, s[j])
+		}
+	}
+}
+
+func TestSetEntry(t *testing.T) {
+	v := sparse.Vector{}
+	v = setEntry(v, 5, 1)
+	v = setEntry(v, 2, 1)
+	v = setEntry(v, 9, 1)
+	v = setEntry(v, 5, 0.5) // overwrite
+	wantIdx := []int32{2, 5, 9}
+	for i, idx := range v.Idx {
+		if idx != wantIdx[i] {
+			t.Fatalf("order broken: %v", v.Idx)
+		}
+	}
+	if v.Get(5) != 0.5 {
+		t.Fatalf("overwrite failed: %g", v.Get(5))
+	}
+}
+
+func TestSamplesScaleWithEps(t *testing.T) {
+	g := gen.Cycle(100)
+	a := New(g, Params{C: c, Eps: 0.1}).Samples()
+	b := New(g, Params{C: c, Eps: 0.01}).Samples()
+	if b < 90*a {
+		t.Fatalf("samples should grow ~100×: %d vs %d", a, b)
+	}
+}
+
+func BenchmarkQueryEps5e2(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 5, 1)
+	e := New(g, Params{C: c, Eps: 0.05, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SingleSource(int32(i % g.N()))
+	}
+}

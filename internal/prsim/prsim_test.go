@@ -1,0 +1,132 @@
+package prsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/powermethod"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+const c = 0.6
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func maxErrRow(got []float64, truth *powermethod.Matrix, src int) float64 {
+	worst := 0.0
+	for j := range got {
+		if d := math.Abs(got[j] - truth.At(src, j)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestBuildShape(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 1)
+	ix := Build(g, Params{C: c, Eps: 0.05, Seed: 3})
+	if ix.HubCount() != 32 { // n/64 floored at 32
+		t.Fatalf("HubCount = %d", ix.HubCount())
+	}
+	if ix.Bytes() <= 0 || ix.PrepTime <= 0 {
+		t.Fatal("index accounting missing")
+	}
+}
+
+func TestHubCountNormalization(t *testing.T) {
+	g := gen.Cycle(10)
+	ix := Build(g, Params{C: c, Eps: 0.1, HubCount: 50, Seed: 1})
+	if ix.HubCount() != 10 {
+		t.Fatalf("HubCount should clamp to n: %d", ix.HubCount())
+	}
+}
+
+func TestAllHubsIsDeterministicIndexProduct(t *testing.T) {
+	// With every node indexed, the tail sampler never fires and the query
+	// reduces to the index product; its error comes only from D̂ noise and
+	// truncation, so it must track the power method closely.
+	g := randomGraph(5, 30, 120)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 60})
+	ix := Build(g, Params{C: c, Eps: 0.01, HubCount: 30, Seed: 7})
+	for _, src := range []int32{0, 11} {
+		got := ix.SingleSource(src)
+		if e := maxErrRow(got, truth, int(src)); e > 0.05 {
+			t.Fatalf("src %d: all-hub error %g", src, e)
+		}
+	}
+}
+
+func TestMixedHubAccuracy(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 9)
+	truth := powermethod.Compute(g, powermethod.Options{C: c, L: 60})
+	ix := Build(g, Params{C: c, Eps: 0.03, HubCount: 40, Seed: 11})
+	worst := 0.0
+	for _, src := range []int32{0, 25, 60} {
+		got := ix.SingleSource(src)
+		if e := maxErrRow(got, truth, int(src)); e > worst {
+			worst = e
+		}
+	}
+	// the sampled tail is noisy; assert a loose but meaningful bound
+	if worst > 0.15 {
+		t.Fatalf("mixed-hub MaxError %g", worst)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 13)
+	a := Build(g, Params{C: c, Eps: 0.05, Seed: 21}).SingleSource(5)
+	b := Build(g, Params{C: c, Eps: 0.05, Seed: 21}).SingleSource(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed queries differ at %d", i)
+		}
+	}
+}
+
+func TestIndexGrowsWithPrecision(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 4, 15)
+	loose := Build(g, Params{C: c, Eps: 0.1, HubCount: 64, Seed: 1})
+	tight := Build(g, Params{C: c, Eps: 0.001, HubCount: 64, Seed: 1})
+	if tight.Bytes() <= loose.Bytes() {
+		t.Fatalf("index should grow as eps shrinks: %d vs %d",
+			loose.Bytes(), tight.Bytes())
+	}
+}
+
+func TestSelfScoreOne(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 3, 17)
+	s := Build(g, Params{C: c, Eps: 0.05, Seed: 5}).SingleSource(9)
+	if s[9] != 1 {
+		t.Fatalf("self score %g", s[9])
+	}
+}
+
+func TestScoresSane(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 19)
+	s := Build(g, Params{C: c, Eps: 0.05, Seed: 23}).SingleSource(0)
+	for j, v := range s {
+		// individual tail samples can overshoot slightly; bound loosely
+		if v < 0 || v > 1.5 {
+			t.Fatalf("score %d = %g implausible", j, v)
+		}
+	}
+}
+
+func BenchmarkQueryEps5e2(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 5, 1)
+	ix := Build(g, Params{C: c, Eps: 0.05, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SingleSource(int32(i % g.N()))
+	}
+}

@@ -1,0 +1,155 @@
+// Package rng provides a fast, deterministic, splittable pseudo-random
+// number generator used by every randomized component in this repository.
+//
+// Reproducibility is a hard requirement for the paper's experiments: ExactSim
+// is a *probabilistic* exact algorithm, and its tests assert statistical
+// error bounds under fixed seeds. The stdlib math/rand global source is
+// lockful and unseedable per-worker, so we implement xoshiro256++ seeded via
+// splitmix64 (the construction recommended by its authors). Each parallel
+// worker derives an independent stream with Split, which guarantees that
+// parallel runs are reproducible regardless of scheduling.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256++ generator. The zero value is invalid; construct with
+// New or Split. RNG is not safe for concurrent use; give each goroutine its
+// own via Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the seed state and returns the next output. It is used
+// only to initialize xoshiro state, per Blackman & Vigna's recommendation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically derived from seed. Distinct
+// seeds yield decorrelated streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream identified by seed.
+func (r *RNG) Reseed(seed uint64) {
+	state := seed
+	r.s0 = splitmix64(&state)
+	r.s1 = splitmix64(&state)
+	r.s2 = splitmix64(&state)
+	r.s3 = splitmix64(&state)
+	// xoshiro must not start from the all-zero state.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Split derives a new independent generator from r. The derived stream is a
+// deterministic function of r's current state, so a fixed seed plus a fixed
+// split order reproduces the whole tree of streams.
+func (r *RNG) Split() *RNG {
+	// Mix two outputs through splitmix64 so that consecutive Splits do not
+	// hand out overlapping xoshiro orbits.
+	seed := r.Uint64() ^ rotl(r.Uint64(), 32)
+	return New(seed)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method (unbiased).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Int31 returns a uniform int32 in [0, n) for n > 0. Slightly faster than
+// Intn for the hot random-neighbor path where degrees fit in 32 bits.
+func (r *RNG) Int31(n int32) int32 {
+	return int32(r.Intn(int(n)))
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+// Used only by generators, not by any algorithmic hot path.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (r *RNG) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

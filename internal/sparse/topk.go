@@ -1,0 +1,101 @@
+package sparse
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Entry pairs a node index with a score; TopK returns slices of these.
+type Entry struct {
+	Idx int32
+	Val float64
+}
+
+// entryMinHeap is a min-heap on Val with deterministic tie-breaking on Idx
+// (larger index treated as smaller, so it is evicted first). This makes
+// TopK results stable across runs.
+type entryMinHeap []Entry
+
+func (h entryMinHeap) Len() int { return len(h) }
+func (h entryMinHeap) Less(i, j int) bool {
+	if h[i].Val != h[j].Val {
+		return h[i].Val < h[j].Val
+	}
+	return h[i].Idx > h[j].Idx
+}
+func (h entryMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryMinHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// beats reports whether e should displace the current heap minimum root.
+func (h entryMinHeap) beats(e Entry) bool {
+	return e.Val > h[0].Val || (e.Val == h[0].Val && e.Idx < h[0].Idx)
+}
+
+// TopK returns the k largest entries of the dense score vector, sorted by
+// descending value with ascending index as the tie-break. If exclude >= 0,
+// that index is skipped (SimRank queries exclude the source node, whose
+// similarity is definitionally 1).
+func TopK(scores []float64, k int, exclude int32) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	h := make(entryMinHeap, 0, k)
+	for i, v := range scores {
+		if int32(i) == exclude {
+			continue
+		}
+		e := Entry{Idx: int32(i), Val: v}
+		if len(h) < k {
+			heap.Push(&h, e)
+		} else if h.beats(e) {
+			h[0] = e
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Entry, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Val != out[j].Val {
+			return out[i].Val > out[j].Val
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out
+}
+
+// TopKSparse selects the k largest entries of a sparse vector, same ordering
+// contract as TopK.
+func TopKSparse(v *Vector, k int, exclude int32) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	h := make(entryMinHeap, 0, k)
+	for i, idx := range v.Idx {
+		if idx == exclude {
+			continue
+		}
+		e := Entry{Idx: idx, Val: v.Val[i]}
+		if len(h) < k {
+			heap.Push(&h, e)
+		} else if h.beats(e) {
+			h[0] = e
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Entry, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Val != out[j].Val {
+			return out[i].Val > out[j].Val
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out
+}

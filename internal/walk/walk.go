@@ -1,0 +1,174 @@
+// Package walk implements the √c-walk primitives behind every Monte-Carlo
+// component in this repository.
+//
+// A √c-walk (paper §2, MC) moves, at each step, to a uniformly random
+// in-neighbor with probability √c and stops otherwise; a node without
+// in-neighbors forces a stop. Two √c-walks "meet" if they occupy the same
+// node at the same step while both are still alive, and
+//
+//	S(i,j) = Pr[√c-walks from v_i and v_j meet]          (paper eq. 2)
+//	D(k,k) = 1 − Pr[two √c-walks from v_k meet at ℓ ≥ 1] (paper §3.2)
+//
+// are the identities the MC baseline and the D estimators build on.
+package walk
+
+import (
+	"math"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/rng"
+)
+
+// Walker bundles a graph, decay factor, and RNG stream. It is not safe for
+// concurrent use: parallel drivers derive one Walker per worker via Fork.
+type Walker struct {
+	g     *graph.Graph
+	sqrtC float64
+	r     *rng.RNG
+}
+
+// NewWalker returns a walker over g with SimRank decay c, seeded
+// deterministically.
+func NewWalker(g *graph.Graph, c float64, seed uint64) *Walker {
+	if c <= 0 || c >= 1 {
+		panic("walk: decay factor must lie in (0,1)")
+	}
+	return &Walker{g: g, sqrtC: math.Sqrt(c), r: rng.New(seed)}
+}
+
+// Fork derives an independent walker for another goroutine.
+func (w *Walker) Fork() *Walker {
+	return &Walker{g: w.g, sqrtC: w.sqrtC, r: w.r.Split()}
+}
+
+// RNG exposes the walker's random stream (used by samplers built on top).
+func (w *Walker) RNG() *rng.RNG { return w.r }
+
+// step moves the walk one step if it survives; ok=false means the walk
+// stopped (decay or dead end).
+func (w *Walker) step(v graph.NodeID) (graph.NodeID, bool) {
+	if w.r.Float64() >= w.sqrtC {
+		return v, false
+	}
+	in := w.g.InNeighbors(v)
+	if len(in) == 0 {
+		return v, false
+	}
+	return in[w.r.Intn(len(in))], true
+}
+
+// Trajectory simulates one √c-walk from start, recording at most maxSteps
+// moves. The returned slice begins with start; its length-1 is the number
+// of steps taken. dst is reused if it has capacity.
+func (w *Walker) Trajectory(start graph.NodeID, maxSteps int, dst []graph.NodeID) []graph.NodeID {
+	dst = append(dst[:0], start)
+	v := start
+	for step := 0; step < maxSteps; step++ {
+		next, alive := w.step(v)
+		if !alive {
+			break
+		}
+		v = next
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// TrajectoriesMeet reports whether two stored √c-walk trajectories meet:
+// same node at the same step index while both are alive (indices past a
+// trajectory's end are "stopped"). Index 0 counts, so identical sources
+// meet trivially — callers compare distinct sources.
+func TrajectoriesMeet(a, b []graph.NodeID) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for t := 0; t < n; t++ {
+		if a[t] == b[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// PairMeetsFrom simulates two fresh √c-walks from x and y (both alive at
+// step 0, positions distinct unless x==y) and reports whether they ever
+// meet at a step ≥ 1. This is the MC estimator's primitive for S(x,y) when
+// combined with the step-0 check, and Algorithm 3's tail continuation.
+func (w *Walker) PairMeetsFrom(x, y graph.NodeID) bool {
+	for {
+		nx, ax := w.step(x)
+		ny, ay := w.step(y)
+		if !ax || !ay {
+			return false
+		}
+		x, y = nx, ny
+		if x == y {
+			return true
+		}
+	}
+}
+
+// PairNoMeet simulates two independent √c-walks from the same node k and
+// reports whether they do NOT meet at any step ≥ 1 — exactly the Bernoulli
+// trial of paper Algorithm 2, whose success probability is D(k,k).
+func (w *Walker) PairNoMeet(k graph.NodeID) bool {
+	return !w.PairMeetsFrom(k, k)
+}
+
+// NonStopPrefixPair simulates the special walk pair of paper Algorithm 3:
+// both walks take `prefix` forced (non-stopping) steps. It returns the two
+// end positions and ok=true only if (a) neither walk hit a dead end — a
+// dead end makes survival past it impossible under the true measure — and
+// (b) the walks did not meet at any step 1..prefix (those meetings belong
+// to the deterministically-computed Σ Z_ℓ part).
+func (w *Walker) NonStopPrefixPair(k graph.NodeID, prefix int) (x, y graph.NodeID, ok bool) {
+	x, y = k, k
+	for step := 0; step < prefix; step++ {
+		xin := w.g.InNeighbors(x)
+		yin := w.g.InNeighbors(y)
+		if len(xin) == 0 || len(yin) == 0 {
+			return x, y, false
+		}
+		x = xin[w.r.Intn(len(xin))]
+		y = yin[w.r.Intn(len(yin))]
+		if x == y {
+			return x, y, false
+		}
+	}
+	return x, y, true
+}
+
+// StopDistribution estimates, by simulation, the probability that a √c-walk
+// from source stops at each node (the full PPR vector π_source). Used by
+// tests to cross-validate internal/ppr against the walk process itself.
+func (w *Walker) StopDistribution(source graph.NodeID, samples int) []float64 {
+	counts := make([]float64, w.g.N())
+	for s := 0; s < samples; s++ {
+		v := source
+		for {
+			next, alive := w.step(v)
+			if !alive {
+				break
+			}
+			v = next
+		}
+		counts[v]++
+	}
+	for i := range counts {
+		counts[i] /= float64(samples)
+	}
+	return counts
+}
+
+// MeetFraction runs `samples` Algorithm-2 trials at node k and returns the
+// fraction that met (an estimator of 1 − D(k,k)).
+func (w *Walker) MeetFraction(k graph.NodeID, samples int) float64 {
+	met := 0
+	for s := 0; s < samples; s++ {
+		if !w.PairNoMeet(k) {
+			met++
+		}
+	}
+	return float64(met) / float64(samples)
+}

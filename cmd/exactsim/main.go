@@ -1,21 +1,24 @@
 // Command exactsim answers single-source and top-k SimRank queries from
-// the command line.
+// the command line through the unified algorithm registry.
 //
 // Usage:
 //
 //	exactsim -graph edges.txt -source 42 -eps 1e-6 -topk 10
 //	exactsim -dataset GQ -source 0 -method parsim
+//	exactsim -dataset WV -source 3 -method prsim -timeout 5s
 //
 // Either -graph (an edge-list file; add -undirected for co-authorship-style
 // inputs) or -dataset (a Table-2 stand-in key) selects the graph. -method
-// chooses between exactsim (default), exactsim-basic, mc, parsim,
-// linearization, and prsim.
+// accepts any registered algorithm (see -method help); -timeout bounds the
+// query with a context deadline that is honored inside the computation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	exactsim "github.com/exactsim/exactsim"
@@ -28,14 +31,21 @@ func main() {
 		datasetKey = flag.String("dataset", "", "Table-2 dataset key (GQ, HT, WV, HP, DB, IC, IT, TW)")
 		scale      = flag.Float64("scale", 1.0, "dataset scale in (0,1]")
 		source     = flag.Int("source", 0, "source node id")
-		eps        = flag.Float64("eps", 1e-6, "additive error target")
+		eps        = flag.Float64("eps", 0, "additive error target (default: 1e-6 for exactsim, each method's serving default otherwise)")
 		c          = flag.Float64("c", exactsim.DefaultC, "SimRank decay factor")
 		topk       = flag.Int("topk", 10, "print the top-k most similar nodes")
-		method     = flag.String("method", "exactsim", "exactsim | exactsim-basic | mc | parsim | linearization | prsim")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		workers    = flag.Int("workers", 1, "parallel workers (ExactSim only)")
+		method     = flag.String("method", "exactsim",
+			"algorithm: "+strings.Join(exactsim.Algorithms(), " | "))
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 1, "parallel workers within one query")
+		timeout = flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 30s")
 	)
 	flag.Parse()
+
+	if *method == "help" {
+		fmt.Println("registered algorithms:", strings.Join(exactsim.Algorithms(), ", "))
+		return
+	}
 
 	g, err := loadGraph(*graphPath, *undirected, *datasetKey, *scale)
 	if err != nil {
@@ -49,17 +59,58 @@ func main() {
 	}
 	src := exactsim.NodeID(*source)
 
-	start := time.Now()
-	scores, err := querySingleSource(g, src, *method, *c, *eps, *seed, *workers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Forward -eps only when the user set it: the sampling baselines cost
+	// O(1/ε²), so pinning everyone to ExactSim's tight default would make
+	// e.g. probesim run for days. ExactSim keeps its historical 1e-6.
+	epsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "eps" {
+			epsSet = true
+		}
+	})
+	opts := []exactsim.QuerierOption{
+		exactsim.WithC(*c),
+		exactsim.WithSeed(*seed),
+		exactsim.WithWorkers(*workers),
+	}
+	switch {
+	case epsSet:
+		opts = append(opts, exactsim.WithEpsilon(*eps))
+	case *method == "exactsim" || *method == "exactsim-basic":
+		*eps = 1e-6
+		opts = append(opts, exactsim.WithEpsilon(*eps))
+	}
+
+	q, err := exactsim.NewQuerierCtx(ctx, *method, g, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
+	if ix, ok := q.(exactsim.QuerierIndex); ok {
+		fmt.Printf("index: built in %v, %.2f MB\n",
+			ix.PrepTime().Round(time.Microsecond), float64(ix.IndexBytes())/(1<<20))
+	}
 
-	fmt.Printf("method=%s eps=%g query-time=%v\n", *method, *eps, elapsed.Round(time.Microsecond))
-	fmt.Printf("s(%d,%d) = %.8f (self)\n", src, src, scores[src])
+	top, res, err := q.TopK(ctx, src, *topk)
+	if err != nil {
+		fatal(err)
+	}
+
+	epsLabel := fmt.Sprintf("%g", *eps)
+	if *eps == 0 {
+		epsLabel = "default"
+	}
+	fmt.Printf("method=%s eps=%s query-time=%v\n", *method, epsLabel,
+		res.QueryTime.Round(time.Microsecond))
+	fmt.Printf("s(%d,%d) = %.8f (self)\n", src, src, res.Scores[src])
 	fmt.Printf("top-%d:\n", *topk)
-	for rank, e := range exactsim.TopKOf(scores, *topk, src) {
+	for rank, e := range top {
 		fmt.Printf("  %2d. node %-10d s = %.8f\n", rank+1, e.Idx, e.Val)
 	}
 }
@@ -74,40 +125,6 @@ func loadGraph(path string, undirected bool, key string, scale float64) (*exacts
 		return exactsim.GenerateDataset(key, scale)
 	default:
 		return nil, fmt.Errorf("one of -graph or -dataset is required")
-	}
-}
-
-func querySingleSource(g *exactsim.Graph, src exactsim.NodeID,
-	method string, c, eps float64, seed uint64, workers int) ([]float64, error) {
-
-	switch method {
-	case "exactsim", "exactsim-basic":
-		eng, err := exactsim.New(g, exactsim.Options{
-			C: c, Epsilon: eps, Optimized: method == "exactsim",
-			Seed: seed, Workers: workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := eng.SingleSource(src)
-		if err != nil {
-			return nil, err
-		}
-		return res.Scores, nil
-	case "mc":
-		ix := exactsim.BuildMCIndex(g, exactsim.MCParams{C: c, L: 20, R: 1000, Seed: seed})
-		return ix.SingleSource(src), nil
-	case "parsim":
-		eng := exactsim.NewParSim(g, exactsim.ParSimParams{C: c, L: 50})
-		return eng.SingleSource(src), nil
-	case "linearization":
-		ix := exactsim.BuildLinearization(g, exactsim.LinearizationParams{C: c, Eps: eps, Seed: seed})
-		return ix.SingleSource(src), nil
-	case "prsim":
-		ix := exactsim.BuildPRSim(g, exactsim.PRSimParams{C: c, Eps: eps, Seed: seed})
-		return ix.SingleSource(src), nil
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
 	}
 }
 

@@ -13,23 +13,39 @@
 // # Quick start
 //
 //	g, _ := exactsim.GenerateDataset("GQ", 1.0) // or LoadEdgeList(...)
-//	eng, _ := exactsim.New(g, exactsim.Options{Epsilon: 1e-6, Optimized: true})
-//	res, _ := eng.SingleSource(42)   // res.Scores[j] = S(42, j) ± ε
-//	top, _, _ := eng.TopK(42, 10)    // ten most similar nodes
+//	q, _ := exactsim.NewQuerier("exactsim", g, exactsim.WithEpsilon(1e-6))
+//	res, _ := q.SingleSource(ctx, 42)   // res.Scores[j] = S(42, j) ± ε
+//	top, _, _ := q.TopK(ctx, 42, 10)    // ten most similar nodes
+//
+// NewQuerier accepts any name in Algorithms() — ExactSim, its Basic
+// ablation variant, and the six baselines all answer through the same
+// Querier interface with context-based cancellation. For concurrent
+// multi-user traffic, wrap the graph in a Service (worker pool, per-query
+// deadlines, LRU result cache, batching):
+//
+//	svc, _ := exactsim.NewService(g, exactsim.ServiceOptions{})
+//	defer svc.Close()
+//	resp := svc.Query(ctx, exactsim.Request{Source: 42, K: 10})
+//
+// The legacy engine-per-algorithm constructors (New, BuildMCIndex, ...)
+// remain for direct access to algorithm-specific records.
 //
 // # Packages
 //
 // The root package is a facade over the internal implementation:
+// internal/algo defines the unified Querier interface and registry,
 // internal/core holds the ExactSim algorithm, internal/{mc, parsim,
-// lineariz, prsim, powermethod} the baselines, internal/eval the paper's
-// metrics and pooling protocol, internal/dataset the Table-2 dataset
-// stand-ins, and internal/harness the per-figure experiment drivers (see
-// cmd/experiments and DESIGN.md).
+// lineariz, prsim, probesim, powermethod} the baselines, internal/eval
+// the paper's metrics and pooling protocol, internal/dataset the Table-2
+// dataset stand-ins, and internal/harness the per-figure experiment
+// drivers (see cmd/experiments and DESIGN.md).
 package exactsim
 
 import (
+	"context"
 	"io"
 
+	"github.com/exactsim/exactsim/internal/algo"
 	"github.com/exactsim/exactsim/internal/core"
 	"github.com/exactsim/exactsim/internal/dataset"
 	"github.com/exactsim/exactsim/internal/eval"
@@ -61,6 +77,82 @@ type (
 	// Entry pairs a node with a similarity score (top-k results).
 	Entry = sparse.Entry
 )
+
+// Unified query API (internal/algo). Every algorithm in Algorithms() is
+// constructible through NewQuerier and answers through the same two
+// context-aware methods; see DESIGN.md §2.
+type (
+	// Querier is the unified single-source SimRank interface implemented
+	// by every registered algorithm. Safe for concurrent use.
+	Querier = algo.Querier
+	// QueryResult is the uniform single-source answer (scores + costs).
+	QueryResult = algo.Result
+	// QuerierIndex is the optional interface of index-based queriers
+	// (preprocessing time and index footprint).
+	QuerierIndex = algo.Index
+	// QuerierOption customizes NewQuerier (see the With... constructors).
+	QuerierOption = algo.Option
+)
+
+// Algorithms returns the registry names accepted by NewQuerier: exactsim,
+// exactsim-basic, linearization, mc, parsim, powermethod, probesim, prsim.
+func Algorithms() []string { return algo.Names() }
+
+// KnownAlgorithm reports whether name is a registered algorithm (O(1)).
+func KnownAlgorithm(name string) bool { return algo.Known(name) }
+
+// NewQuerier constructs the named algorithm over g with per-algorithm
+// functional options. Index-based algorithms (mc, linearization, prsim,
+// powermethod) pay their preprocessing here.
+func NewQuerier(name string, g *Graph, opts ...QuerierOption) (Querier, error) {
+	return algo.New(name, g, opts...)
+}
+
+// NewQuerierCtx is NewQuerier with the index build bounded by ctx.
+func NewQuerierCtx(ctx context.Context, name string, g *Graph, opts ...QuerierOption) (Querier, error) {
+	return algo.NewCtx(ctx, name, g, opts...)
+}
+
+// Querier options, re-exported from internal/algo as wrapper functions
+// (not package vars, which would be mutable by importers).
+
+// WithC sets the SimRank decay factor (paper: 0.6).
+func WithC(c float64) QuerierOption { return algo.WithC(c) }
+
+// WithEpsilon sets the additive error target for error-driven methods.
+func WithEpsilon(eps float64) QuerierOption { return algo.WithEpsilon(eps) }
+
+// WithSeed fixes every random choice deterministically.
+func WithSeed(seed uint64) QuerierOption { return algo.WithSeed(seed) }
+
+// WithWorkers bounds parallelism inside one query or index build.
+func WithWorkers(w int) QuerierOption { return algo.WithWorkers(w) }
+
+// WithSampleFactor scales the sampling methods' sample counts.
+func WithSampleFactor(f float64) QuerierOption { return algo.WithSampleFactor(f) }
+
+// WithIterations sets ParSim's / the power method's level count.
+func WithIterations(l int) QuerierOption { return algo.WithIterations(l) }
+
+// WithWalks sets MC's (walk length, walks per node).
+func WithWalks(length, perNode int) QuerierOption { return algo.WithWalks(length, perNode) }
+
+// WithHubCount sets PRSim's indexed-hub count.
+func WithHubCount(h int) QuerierOption { return algo.WithHubCount(h) }
+
+// WithPruneThreshold sets ProbeSim's probe-pruning threshold.
+func WithPruneThreshold(t float64) QuerierOption { return algo.WithPruneThreshold(t) }
+
+// WithSampleCaps caps ExactSim's per-node sampling/exploration work.
+func WithSampleCaps(maxSamplesPerNode int, maxExploreEdges int64) QuerierOption {
+	return algo.WithSampleCaps(maxSamplesPerNode, maxExploreEdges)
+}
+
+// WithoutPiSquaredSampling disables ExactSim's π²-allocation (ablation).
+func WithoutPiSquaredSampling() QuerierOption { return algo.WithoutPiSquaredSampling() }
+
+// WithoutLocalExploit disables ExactSim's Algorithm-3 phase (ablation).
+func WithoutLocalExploit() QuerierOption { return algo.WithoutLocalExploit() }
 
 // ExactSim types.
 type (

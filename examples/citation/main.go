@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,17 +28,17 @@ func main() {
 	fmt.Printf("query author: node %d with %d collaborators\n\n",
 		author, g.OutDegree(author))
 
-	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-4, Optimized: true, Seed: 3})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := eng.SingleSource(author)
+	q, err := exactsim.NewQuerier("exactsim", g,
+		exactsim.WithEpsilon(1e-4), exactsim.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const k = 15
-	peers := exactsim.TopKOf(res.Scores, k, author)
+	peers, _, err := q.TopK(context.Background(), author, k)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("top-%d structural peers by exact SimRank:\n", k)
 	fmt.Println("rank  node      SimRank    shared-collab  jaccard")
 	var peerJaccard float64

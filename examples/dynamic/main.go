@@ -2,12 +2,15 @@
 // ExactSim (like ParSim) "can handle dynamic graphs" — after edge updates,
 // a query on a fresh snapshot is exact with zero maintenance, while
 // index-based methods (MC, PRSim, Linearization) keep answering from a
-// stale index until they pay a full rebuild.
+// stale index until they pay a full rebuild. Both sides go through the
+// same Querier interface; the difference is only *which graph snapshot*
+// each querier was constructed on.
 //
 //	go run ./examples/dynamic
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,13 +28,15 @@ func main() {
 
 	const source = 5
 	const k = 5
+	ctx := context.Background()
 
 	query := func(tag string, g *exactsim.Graph) []exactsim.Entry {
-		eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-3, Optimized: true, Seed: 7})
+		q, err := exactsim.NewQuerier("exactsim", g,
+			exactsim.WithEpsilon(1e-3), exactsim.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}
-		top, _, err := eng.TopK(source, k)
+		top, _, err := q.TopK(ctx, source, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,8 +50,11 @@ func main() {
 	before := query("before updates", dyn.Snapshot())
 
 	// A stale MC index built now will keep answering the OLD graph.
-	staleIndex := exactsim.BuildMCIndex(dyn.Snapshot(),
-		exactsim.MCParams{C: 0.6, L: 15, R: 500, Seed: 3})
+	staleIndex, err := exactsim.NewQuerier("mc", dyn.Snapshot(),
+		exactsim.WithWalks(15, 500), exactsim.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Update burst: rewire the source's neighborhood towards the current
 	// top hit, making them strongly similar.
@@ -60,12 +68,13 @@ func main() {
 	fmt.Printf("\napplied %d edge insertions (source now shares %d in-neighbors with node %d)\n",
 		added, added, target)
 
-	after := query("after updates (fresh snapshot, zero maintenance)", dyn.Snapshot())
-	_ = after
+	query("after updates (fresh snapshot, zero maintenance)", dyn.Snapshot())
 
 	// The stale index still reports pre-update similarities.
-	staleScores := staleIndex.SingleSource(source)
-	staleTop := exactsim.TopKOf(staleScores, k, source)
+	staleTop, _, err := staleIndex.TopK(ctx, source, k)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nstale MC index (built before the updates) — top-%d:\n", k)
 	for rank, e := range staleTop {
 		fmt.Printf("  %d. node %-6d s = %.6f\n", rank+1, e.Idx, e.Val)

@@ -1,12 +1,14 @@
 // Groundtruth reproduces the paper's central workflow in miniature: use
 // ExactSim to produce single-source ground truth, then measure the REAL
 // error of approximate SimRank algorithms against it — the measurement
-// that was impossible before ExactSim existed (paper §1).
+// that was impossible before ExactSim existed (paper §1). Every method is
+// driven through the same algorithm registry.
 //
 //	go run ./examples/groundtruth
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,7 +17,7 @@ import (
 )
 
 func main() {
-	// The ca-GrQc stand-in at 20% scale keeps this example quick.
+	// The ca-GrQc stand-in at 10% scale keeps this example quick.
 	g, err := exactsim.GenerateDataset("GQ", 0.1)
 	if err != nil {
 		log.Fatal(err)
@@ -23,64 +25,68 @@ func main() {
 	fmt.Printf("dataset GQ stand-in: n=%d m=%d\n", g.N(), g.M())
 
 	const source = 7
+	ctx := context.Background()
 
 	// Step 1: ground truth. On a graph this size the power method is
 	// still feasible, so we can also verify ExactSim's claim directly.
-	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-4, Optimized: true, Seed: 9})
+	exact, err := exactsim.NewQuerier("exactsim", g,
+		exactsim.WithEpsilon(1e-4), exactsim.WithSeed(9))
 	if err != nil {
 		log.Fatal(err)
 	}
-	start := time.Now()
-	res, err := eng.SingleSource(source)
+	res, err := exact.SingleSource(ctx, source)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ExactSim(eps=1e-4) ground truth in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("ExactSim(eps=1e-4) ground truth in %v\n", res.QueryTime.Round(time.Millisecond))
 
-	pm := exactsim.PowerMethod(g, exactsim.DefaultC, 0)
+	pm, err := exactsim.NewQuerier("powermethod", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pmRes, err := pm.SingleSource(ctx, source)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("ExactSim vs PowerMethod MaxError: %.3g (must be ≤ 1e-4)\n\n",
-		exactsim.MaxError(res.Scores, pm.Row(source)))
+		exactsim.MaxError(res.Scores, pmRes.Scores))
 	truth := res.Scores
 
-	// Step 2: evaluate approximate algorithms against the ground truth.
-	type entry struct {
-		name   string
-		scores []float64
-		took   time.Duration
+	// Step 2: evaluate approximate algorithms against the ground truth —
+	// one loop over registry names and options instead of five bespoke
+	// constructor calls.
+	baselines := []struct {
+		label string
+		name  string
+		opts  []exactsim.QuerierOption
+	}{
+		{"MC (L=10, r=100)", "mc", []exactsim.QuerierOption{exactsim.WithWalks(10, 100), exactsim.WithSeed(2)}},
+		{"MC (L=20, r=1000)", "mc", []exactsim.QuerierOption{exactsim.WithWalks(20, 1000), exactsim.WithSeed(3)}},
+		{"ParSim (L=50)", "parsim", []exactsim.QuerierOption{exactsim.WithIterations(50)}},
+		{"Linearization (eps=0.01)", "linearization", []exactsim.QuerierOption{exactsim.WithEpsilon(0.01), exactsim.WithSeed(4)}},
+		{"PRSim (eps=0.01)", "prsim", []exactsim.QuerierOption{exactsim.WithEpsilon(0.01), exactsim.WithSeed(5)}},
+		{"ProbeSim (eps=0.05)", "probesim", []exactsim.QuerierOption{exactsim.WithEpsilon(0.05), exactsim.WithSeed(6)}},
 	}
-	var entries []entry
-	timeIt := func(name string, f func() []float64) {
-		t0 := time.Now()
-		scores := f()
-		entries = append(entries, entry{name, scores, time.Since(t0)})
-	}
-	timeIt("MC (L=10, r=100)", func() []float64 {
-		return exactsim.BuildMCIndex(g,
-			exactsim.MCParams{C: 0.6, L: 10, R: 100, Seed: 2}).SingleSource(source)
-	})
-	timeIt("MC (L=20, r=1000)", func() []float64 {
-		return exactsim.BuildMCIndex(g,
-			exactsim.MCParams{C: 0.6, L: 20, R: 1000, Seed: 3}).SingleSource(source)
-	})
-	timeIt("ParSim (L=50)", func() []float64 {
-		return exactsim.NewParSim(g,
-			exactsim.ParSimParams{C: 0.6, L: 50}).SingleSource(source)
-	})
-	timeIt("Linearization (eps=0.01)", func() []float64 {
-		return exactsim.BuildLinearization(g,
-			exactsim.LinearizationParams{C: 0.6, Eps: 0.01, Seed: 4}).SingleSource(source)
-	})
-	timeIt("PRSim (eps=0.01)", func() []float64 {
-		return exactsim.BuildPRSim(g,
-			exactsim.PRSimParams{C: 0.6, Eps: 0.01, Seed: 5}).SingleSource(source)
-	})
 
 	fmt.Println("method                      time        MaxError   Precision@50")
-	for _, e := range entries {
+	for _, b := range baselines {
+		q, err := exactsim.NewQuerier(b.name, g, b.opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		r, err := q.SingleSource(ctx, source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		took := time.Since(start)
+		if ix, ok := q.(exactsim.QuerierIndex); ok {
+			took += ix.PrepTime() // charge index methods their build
+		}
 		fmt.Printf("%-26s  %-10v  %.3e  %.3f\n",
-			e.name, e.took.Round(time.Millisecond),
-			exactsim.MaxError(e.scores, truth),
-			exactsim.PrecisionAtK(e.scores, truth, 50, source))
+			b.label, took.Round(time.Millisecond),
+			exactsim.MaxError(r.Scores, truth),
+			exactsim.PrecisionAtK(r.Scores, truth, 50, source))
 	}
 	fmt.Println("\nNote how ParSim's MaxError has a bias floor no amount of")
 	fmt.Println("iterations fixes, while its top-k precision stays high — the")

@@ -1,12 +1,14 @@
 // Quickstart: build a small graph, run one exact single-source SimRank
-// query, and print the most similar nodes.
+// query through the unified Querier API, and print the most similar nodes.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	exactsim "github.com/exactsim/exactsim"
 )
@@ -19,34 +21,41 @@ func main() {
 	g := exactsim.GenerateBarabasiAlbert(300, 3, 42)
 	fmt.Printf("graph: %d nodes, %d edges\n", g.N(), g.M())
 
-	// An engine with ε = 10⁻⁴: every returned similarity is within 1e-4
-	// of the true SimRank value with high probability (tighten Epsilon to
-	// 1e-7 — the paper's exactness threshold — for float-exact output). Optimized mode is
-	// the full ExactSim of the paper (sparse linearization, π²-sampling,
-	// Algorithm-3 diagonal estimation).
-	eng, err := exactsim.New(g, exactsim.Options{
-		Epsilon:   1e-4,
-		Optimized: true,
-		Seed:      1,
-	})
+	// Any name in Algorithms() constructs the same way; "exactsim" is the
+	// paper's optimized algorithm (sparse linearization, π²-sampling,
+	// Algorithm-3 diagonal estimation). ε = 10⁻⁴ means every similarity is
+	// within 1e-4 of the truth with high probability; tighten to 1e-7 —
+	// the paper's exactness threshold — for float-exact output.
+	q, err := exactsim.NewQuerier("exactsim", g,
+		exactsim.WithEpsilon(1e-4),
+		exactsim.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Every query takes a context; deadlines cancel mid-computation.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// One TopK call computes the full single-source vector and ranks it;
+	// the returned Result carries everything SingleSource would have.
 	const source = 42
-	res, err := eng.SingleSource(source)
+	top, res, err := q.TopK(ctx, source, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("single-source query for node %d:\n", source)
-	fmt.Printf("  levels L=%d, walk-pair samples=%d, D entries estimated=%d\n",
-		res.L, res.TotalSamples, res.DNodes)
-	fmt.Printf("  phase times: forward=%v diagonal=%v backward=%v\n",
-		res.ForwardTime, res.DiagTime, res.BackwardTime)
+	fmt.Printf("single-source query for node %d (%v):\n", source, res.QueryTime.Round(time.Millisecond))
+	if det, ok := res.Detail.(*exactsim.Result); ok {
+		fmt.Printf("  levels L=%d, walk-pair samples=%d, D entries estimated=%d\n",
+			det.L, det.TotalSamples, det.DNodes)
+		fmt.Printf("  phase times: forward=%v diagonal=%v backward=%v\n",
+			det.ForwardTime, det.DiagTime, det.BackwardTime)
+	}
 	fmt.Printf("  s(%d,%d) = %.7f (should be 1 ± ε)\n", source, source, res.Scores[source])
 
 	fmt.Println("top-10 most similar nodes:")
-	for rank, e := range exactsim.TopKOf(res.Scores, 10, source) {
+	for rank, e := range top {
 		fmt.Printf("  %2d. node %-6d s = %.7f\n", rank+1, e.Idx, e.Val)
 	}
 }

@@ -1,11 +1,13 @@
 // Topk demonstrates top-k SimRank queries and the pooling protocol of
 // paper §2: when ground truth is unaffordable, pool the candidates of all
 // competing algorithms and adjudicate with high-precision Monte Carlo.
+// The competitors all answer through the unified Querier interface.
 //
 //	go run ./examples/topk
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,45 +27,53 @@ func main() {
 		source = 17
 		k      = 20
 	)
+	ctx := context.Background()
 
-	// Competing top-k answers.
-	eng, err := exactsim.New(g, exactsim.Options{Epsilon: 1e-4, Optimized: true, Seed: 11})
-	if err != nil {
-		log.Fatal(err)
+	// Competing top-k answers, one registry call per algorithm.
+	competitors := []struct {
+		name string
+		opts []exactsim.QuerierOption
+	}{
+		{"exactsim", []exactsim.QuerierOption{exactsim.WithEpsilon(1e-4), exactsim.WithSeed(11)}},
+		{"mc", []exactsim.QuerierOption{exactsim.WithWalks(10, 200), exactsim.WithSeed(12)}},
+		{"parsim", []exactsim.QuerierOption{exactsim.WithIterations(30)}},
+		{"prsim", []exactsim.QuerierOption{exactsim.WithEpsilon(0.02), exactsim.WithSeed(13)}},
 	}
-	exactTop, _, err := eng.TopK(source, k)
-	if err != nil {
-		log.Fatal(err)
+	display := map[string]string{
+		"exactsim": "ExactSim", "mc": "MC", "parsim": "ParSim", "prsim": "PRSim",
 	}
-	mcTop := exactsim.TopKOf(
-		exactsim.BuildMCIndex(g, exactsim.MCParams{C: 0.6, L: 10, R: 200, Seed: 12}).
-			SingleSource(source), k, source)
-	parsimTop := exactsim.TopKOf(
-		exactsim.NewParSim(g, exactsim.ParSimParams{C: 0.6, L: 30}).
-			SingleSource(source), k, source)
-	prsimTop := exactsim.TopKOf(
-		exactsim.BuildPRSim(g, exactsim.PRSimParams{C: 0.6, Eps: 0.02, Seed: 13}).
-			SingleSource(source), k, source)
 
-	fmt.Printf("\nExactSim top-%d for node %d:\n", k, source)
-	for rank, e := range exactTop {
-		if rank == 5 {
-			fmt.Printf("  ... (%d more)\n", k-5)
-			break
+	var entries []exactsim.PoolEntry
+	for _, comp := range competitors {
+		q, err := exactsim.NewQuerier(comp.name, g, comp.opts...)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  %2d. node %-6d s = %.6f\n", rank+1, e.Idx, e.Val)
+		top, _, err := q.TopK(ctx, source, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries = append(entries, exactsim.PoolEntry{
+			Algorithm: display[comp.name], TopK: top,
+		})
+		if comp.name == "exactsim" {
+			fmt.Printf("\nExactSim top-%d for node %d:\n", k, source)
+			for rank, e := range top {
+				if rank == 5 {
+					fmt.Printf("  ... (%d more)\n", k-5)
+					break
+				}
+				fmt.Printf("  %2d. node %-6d s = %.6f\n", rank+1, e.Idx, e.Val)
+			}
+		}
 	}
 
 	// Pool all four and adjudicate.
-	result := exactsim.Pool(g, 0.6, source, k, []exactsim.PoolEntry{
-		{Algorithm: "ExactSim", TopK: exactTop},
-		{Algorithm: "MC", TopK: mcTop},
-		{Algorithm: "ParSim", TopK: parsimTop},
-		{Algorithm: "PRSim", TopK: prsimTop},
-	}, 200000, 99)
+	result := exactsim.Pool(g, 0.6, source, k, entries, 200000, 99)
 
 	fmt.Println("\npooled precision (paper §2 protocol):")
-	for _, name := range []string{"ExactSim", "MC", "ParSim", "PRSim"} {
+	for _, comp := range competitors {
+		name := display[comp.name]
 		fmt.Printf("  %-9s %.3f\n", name, result.Precision[name])
 	}
 	fmt.Println("\nCaveat from the paper: pooled precision is relative to the")

@@ -1,0 +1,3 @@
+module github.com/exactsim/exactsim
+
+go 1.24

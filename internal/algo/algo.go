@@ -1,0 +1,143 @@
+// Package algo defines the unified single-source SimRank query API: one
+// Querier interface implemented by adapters over every algorithm in the
+// repository — ExactSim (optimized and basic), the MC walk index, ParSim,
+// Linearization, PRSim, ProbeSim and the power method — plus a
+// string-keyed registry that constructs any of them from one set of
+// functional options.
+//
+// The paper's experimental story (§4) is a head-to-head of these methods,
+// and a serving layer has to switch between them per request (index-based
+// methods amortize preprocessing across queries; index-free methods answer
+// exactly on every graph snapshot). Both need the algorithms to be
+// interchangeable behind a single call shape:
+//
+//	q, err := algo.New("exactsim", g, algo.WithEpsilon(1e-4))
+//	res, err := q.SingleSource(ctx, 42)
+//	top, _, err := q.TopK(ctx, 42, 10)
+//
+// Every query takes a context whose cancellation is honored *inside* the
+// underlying iteration and sampling loops (see the *Ctx methods of the
+// algorithm packages), so per-request deadlines hold even at ε settings
+// where a single query runs for minutes. See DESIGN.md §2.
+package algo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// Result is the uniform single-source answer: the full score vector plus
+// the accounting a serving layer or experiment harness wants.
+type Result struct {
+	// Algorithm is the registry name of the method that produced this.
+	Algorithm string
+	// Scores holds ŝ(j) for every node j; Scores[source] = 1.
+	// A Result may be shared (e.g. by a cache): treat Scores as read-only.
+	Scores []float64
+	// QueryTime is the wall time of this query (excluding any index build).
+	QueryTime time.Duration
+	// Detail optionally carries the algorithm-specific result record —
+	// *core.Result for the ExactSim variants — for callers that want the
+	// phase timings and sample counts behind the paper's tables.
+	Detail any
+}
+
+// Querier is the unified single-source SimRank interface. Implementations
+// are safe for concurrent use: queries allocate per-call state and the
+// shared graph/index structures are immutable after construction.
+type Querier interface {
+	// Name returns the registry name this querier was constructed under.
+	Name() string
+	// Graph returns the graph the querier answers over.
+	Graph() *graph.Graph
+	// SingleSource returns similarity scores of every node to source.
+	// Cancellation of ctx is honored inside the computation loops; a
+	// cancelled query returns ctx.Err() and no partial result.
+	SingleSource(ctx context.Context, source graph.NodeID) (*Result, error)
+	// TopK returns the k nodes most similar to source (source excluded),
+	// sorted by descending score, plus the underlying full Result.
+	TopK(ctx context.Context, source graph.NodeID, k int) ([]sparse.Entry, *Result, error)
+}
+
+// Index is implemented by queriers with a preprocessing phase (MC,
+// Linearization, PRSim, PowerMethod). Index-free queriers do not implement
+// it; callers type-assert.
+type Index interface {
+	// PrepTime is the wall time the index build took.
+	PrepTime() time.Duration
+	// IndexBytes is the index memory footprint.
+	IndexBytes() int64
+}
+
+// Factory builds a querier for one algorithm. The context governs the
+// index build (where the algorithm has one); construction is where
+// Linearization pays its O(n·log n/ε²) wall, so it must be abortable too.
+type Factory func(ctx context.Context, g *graph.Graph, cfg Config) (Querier, error)
+
+var registry = map[string]Factory{}
+
+// Register adds an algorithm under a unique name. It is called from this
+// package's init and exposed for external experiment variants; registering
+// a duplicate name panics.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("algo: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Names returns every registered algorithm name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether name is registered — O(1), for per-request
+// validation hot paths.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// New constructs the named querier with the given options applied over
+// the defaults (see Config). Unknown names and invalid options error.
+func New(name string, g *graph.Graph, opts ...Option) (Querier, error) {
+	return NewCtx(context.Background(), name, g, opts...)
+}
+
+// NewCtx is New with a context bounding the index build, for algorithms
+// that have one. A cancelled build returns ctx.Err().
+func NewCtx(ctx context.Context, name string, g *graph.Graph, opts ...Option) (Querier, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q (have %v)", name, Names())
+	}
+	if g == nil {
+		return nil, fmt.Errorf("algo: nil graph")
+	}
+	cfg := defaults()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return f(ctx, g, cfg)
+}
+
+// checkSource validates a source id uniformly across adapters.
+func checkSource(g *graph.Graph, source graph.NodeID) error {
+	if source < 0 || int(source) >= g.N() {
+		return fmt.Errorf("algo: source %d out of range [0,%d)", source, g.N())
+	}
+	return nil
+}

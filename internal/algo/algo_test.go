@@ -1,0 +1,257 @@
+package algo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/exactsim/exactsim/internal/gen"
+	"github.com/exactsim/exactsim/internal/powermethod"
+)
+
+// conformanceCase fixes, per registered algorithm, the options that make
+// it accurate on a 250-node graph and the MaxError it must then achieve
+// against power-method ground truth.
+type conformanceCase struct {
+	opts []Option
+	tol  float64
+}
+
+func conformanceCases() map[string]conformanceCase {
+	return map[string]conformanceCase{
+		"exactsim":       {[]Option{WithEpsilon(1e-3), WithSeed(1)}, 1e-3},
+		"exactsim-basic": {[]Option{WithEpsilon(1e-3), WithSeed(2)}, 1e-3},
+		"powermethod":    {nil, 1e-8},
+		"parsim":         {[]Option{WithIterations(100)}, 0.1},
+		"mc":             {[]Option{WithWalks(20, 3000), WithSeed(3)}, 0.1},
+		"linearization":  {[]Option{WithEpsilon(0.02), WithSeed(4)}, 0.1},
+		"prsim":          {[]Option{WithEpsilon(0.02), WithSeed(5)}, 0.1},
+		"probesim":       {[]Option{WithEpsilon(0.05), WithSeed(6)}, 0.1},
+	}
+}
+
+// TestConformance runs every registered querier on one small graph and
+// cross-checks it against the power method: correct vector shape, a
+// self-similarity of 1, scores within the algorithm's tolerance of ground
+// truth, and a well-formed TopK. The case table is keyed off Names() so
+// registering a new algorithm without conformance coverage fails loudly.
+func TestConformance(t *testing.T) {
+	g := gen.BarabasiAlbert(250, 3, 42)
+	truth := powermethod.Compute(g, powermethod.Options{C: 0.6, L: 40})
+	const source = 17
+	cases := conformanceCases()
+
+	for _, name := range Names() {
+		cse, ok := cases[name]
+		if !ok {
+			t.Fatalf("registered algorithm %q has no conformance case", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			q, err := New(name, g, cse.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Name() != name {
+				t.Fatalf("Name() = %q, want %q", q.Name(), name)
+			}
+			if q.Graph() != g {
+				t.Fatal("Graph() does not return the construction graph")
+			}
+			res, err := q.SingleSource(context.Background(), source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Algorithm != name {
+				t.Fatalf("Result.Algorithm = %q, want %q", res.Algorithm, name)
+			}
+			if len(res.Scores) != g.N() {
+				t.Fatalf("got %d scores for n=%d", len(res.Scores), g.N())
+			}
+			// ExactSim reconstructs s(i,i) ≈ 1 ± ε; the baselines pin it to 1.
+			if math.Abs(res.Scores[source]-1) > cse.tol {
+				t.Fatalf("self-similarity %g not within %g of 1", res.Scores[source], cse.tol)
+			}
+			var maxErr float64
+			for j, s := range res.Scores {
+				if e := math.Abs(s - truth.At(source, j)); e > maxErr {
+					maxErr = e
+				}
+			}
+			if maxErr > cse.tol {
+				t.Fatalf("MaxError %g above tolerance %g", maxErr, cse.tol)
+			}
+
+			top, topRes, err := q.TopK(context.Background(), source, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(top) != 10 {
+				t.Fatalf("TopK returned %d entries", len(top))
+			}
+			if topRes == nil || len(topRes.Scores) != g.N() {
+				t.Fatal("TopK did not return the underlying Result")
+			}
+			for i, e := range top {
+				if e.Idx == source {
+					t.Fatal("TopK includes the source")
+				}
+				if i > 0 && e.Val > top[i-1].Val {
+					t.Fatal("TopK not sorted descending")
+				}
+			}
+
+			// Out-of-range sources error uniformly, before any work.
+			if _, err := q.SingleSource(context.Background(), -1); err == nil {
+				t.Fatal("negative source accepted")
+			}
+			if _, err := q.SingleSource(context.Background(), int32(g.N())); err == nil {
+				t.Fatal("source == n accepted")
+			}
+		})
+	}
+}
+
+// TestQuerierDeterminism: equal seeds and options give identical vectors.
+func TestQuerierDeterminism(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 7)
+	for _, name := range []string{"exactsim", "mc", "probesim", "prsim"} {
+		a, err := New(name, g, WithEpsilon(0.05), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(name, g, WithEpsilon(0.05), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := a.SingleSource(context.Background(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.SingleSource(context.Background(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ra.Scores {
+			if ra.Scores[j] != rb.Scores[j] {
+				t.Fatalf("%s: score %d differs across identically seeded runs", name, j)
+			}
+		}
+	}
+}
+
+// TestCancelledContext: a pre-cancelled context is rejected by every
+// registered querier without doing the query.
+func TestCancelledContext(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := conformanceCases()
+	for _, name := range Names() {
+		q, err := New(name, g, cases[name].opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.SingleSource(ctx, 0); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestDeadlineMidComputation: a deadline interrupts a long ExactSim run
+// *during* the computation — the diagonal phase at ε=10⁻⁶ on a 3000-node
+// graph runs for many seconds uncancelled — and surfaces as
+// context.DeadlineExceeded well before the run would have finished.
+func TestDeadlineMidComputation(t *testing.T) {
+	g := gen.BarabasiAlbert(3000, 5, 13)
+	q, err := New("exactsim", g, WithEpsilon(1e-6), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = q.SingleSource(ctx, 5)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; not honored inside the computation loops", elapsed)
+	}
+}
+
+// TestCancelledIndexBuild: NewCtx aborts an expensive index build (here
+// Linearization's O(n·log n/ε²) sampling) on deadline.
+func TestCancelledIndexBuild(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 4, 17)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := NewCtx(ctx, "linearization", g, WithEpsilon(1e-3))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("build cancellation took %v", elapsed)
+	}
+}
+
+// TestOptionValidation: NaN/Inf and out-of-range knobs are rejected for
+// every algorithm (the NaN cases would previously slip through ordered
+// comparisons and poison the run).
+func TestOptionValidation(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 2, 3)
+	bad := [][]Option{
+		{WithC(math.NaN())},
+		{WithC(math.Inf(1))},
+		{WithC(1.5)},
+		{WithEpsilon(math.NaN())},
+		{WithEpsilon(-0.1)},
+		{WithEpsilon(1)},
+		{WithSampleFactor(math.NaN())},
+		{WithSampleFactor(math.Inf(-1))},
+		{WithSampleFactor(-1)},
+		{WithIterations(-1)},
+		{WithWalks(-1, 100)},
+		{WithHubCount(-2)},
+		{WithPruneThreshold(math.NaN())},
+	}
+	for i, opts := range bad {
+		if _, err := New("exactsim", g, opts...); err == nil {
+			t.Fatalf("bad option set %d accepted", i)
+		}
+	}
+	if _, err := New("no-such-algo", g); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := New("exactsim", nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// TestMCZeroKnobsUseDefaults: zero means "default" for every Config
+// knob; WithWalks(l, 0) must not reach MC literally (R=0 would divide
+// every score 0/0 into NaN).
+func TestMCZeroKnobsUseDefaults(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 2, 5)
+	for _, opts := range [][]Option{
+		{WithWalks(10, 0)},
+		{WithWalks(0, 50)},
+	} {
+		q, err := New("mc", g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := q.SingleSource(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, s := range res.Scores {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("score[%d] = %g with zero walk knobs", j, s)
+			}
+		}
+	}
+}

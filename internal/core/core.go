@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -87,6 +88,17 @@ type Options struct {
 }
 
 func (o *Options) normalize() error {
+	// NaN fails every ordered comparison, so the range checks below would
+	// silently wave it through (NaN <= 0 is false) and poison the whole
+	// run; reject non-finite knobs explicitly first.
+	for _, knob := range []struct {
+		name string
+		v    float64
+	}{{"C", o.C}, {"Epsilon", o.Epsilon}, {"SampleFactor", o.SampleFactor}} {
+		if math.IsNaN(knob.v) || math.IsInf(knob.v, 0) {
+			return fmt.Errorf("core: %s=%g is not finite", knob.name, knob.v)
+		}
+	}
 	if o.C == 0 {
 		o.C = DefaultC
 	}
@@ -166,13 +178,27 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // SingleSource runs ExactSim (Algorithm 1, plus §3.2 optimizations when
 // enabled) for the given source node.
 func (e *Engine) SingleSource(source graph.NodeID) (*Result, error) {
+	return e.SingleSourceCtx(context.Background(), source)
+}
+
+// SingleSourceCtx is SingleSource under a context. Cancellation is
+// cooperative and fine-grained: the forward phase checks between hop
+// levels, the diagonal phase checks between nodes and every few thousand
+// walk-pair samples (the phase that dominates at tight ε), and the
+// backward phase checks between levels. A cancelled query returns
+// ctx.Err() — typically context.Canceled or context.DeadlineExceeded —
+// and no partial result.
+func (e *Engine) SingleSourceCtx(ctx context.Context, source graph.NodeID) (*Result, error) {
 	if source < 0 || int(source) >= e.g.N() {
 		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, e.g.N())
 	}
-	if e.opt.Optimized {
-		return e.singleSourceOptimized(source)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return e.singleSourceBasic(source)
+	if e.opt.Optimized {
+		return e.singleSourceOptimized(ctx, source)
+	}
+	return e.singleSourceBasic(ctx, source)
 }
 
 // lnN returns max(ln n, 1) so sample counts stay positive on tiny graphs.
@@ -198,7 +224,7 @@ func (e *Engine) capSamples(rTheory float64) int {
 
 // singleSourceBasic is Algorithm 1 verbatim: dense hop vectors,
 // π-proportional sampling, Algorithm-2 D estimation.
-func (e *Engine) singleSourceBasic(source graph.NodeID) (*Result, error) {
+func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*Result, error) {
 	c, eps := e.opt.C, e.opt.Epsilon
 	sqrtC := math.Sqrt(c)
 	n := e.g.N()
@@ -206,7 +232,10 @@ func (e *Engine) singleSourceBasic(source graph.NodeID) (*Result, error) {
 	res := &Result{L: L}
 
 	t0 := time.Now()
-	hops := ppr.HopsDense(e.op, source, ppr.Config{C: c, L: L})
+	hops, err := ppr.HopsDenseCtx(ctx, e.op, source, ppr.Config{C: c, L: L})
+	if err != nil {
+		return nil, err
+	}
 	pi := make([]float64, n)
 	for _, h := range hops {
 		for k, v := range h {
@@ -230,9 +259,12 @@ func (e *Engine) singleSourceBasic(source graph.NodeID) (*Result, error) {
 		reqs = append(reqs, diag.Request{Node: int32(k), Samples: rk})
 		res.TotalSamples += int64(rk)
 	}
-	dvals := diag.Batch(e.g, reqs, diag.Options{
+	dvals, err := diag.BatchCtx(ctx, e.g, reqs, diag.Options{
 		C: c, Improved: false, Workers: e.opt.Workers, Seed: e.opt.Seed,
 	})
+	if err != nil {
+		return nil, err
+	}
 	dHat := make([]float64, n)
 	for i, req := range reqs {
 		dHat[req.Node] = dvals[i]
@@ -246,6 +278,9 @@ func (e *Engine) singleSourceBasic(source graph.NodeID) (*Result, error) {
 	tmp := make([]float64, n)
 	invOneMinusSqrtC := 1 / (1 - sqrtC)
 	for j := L; j >= 0; j-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if j < L {
 			e.op.ApplyPT(tmp, s, sqrtC)
 			s, tmp = tmp, s
@@ -268,7 +303,7 @@ func (e *Engine) singleSourceBasic(source graph.NodeID) (*Result, error) {
 
 // singleSourceOptimized applies sparse linearization, π²-sampling and
 // Algorithm-3 D estimation. Internally it targets ε′ = ε/2 (Lemma 2).
-func (e *Engine) singleSourceOptimized(source graph.NodeID) (*Result, error) {
+func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID) (*Result, error) {
 	c := e.opt.C
 	epsPrime := e.opt.Epsilon / 2
 	sqrtC := math.Sqrt(c)
@@ -278,7 +313,10 @@ func (e *Engine) singleSourceOptimized(source graph.NodeID) (*Result, error) {
 	res := &Result{L: L}
 
 	t0 := time.Now()
-	hops := ppr.Hops(e.op, source, ppr.Config{C: c, L: L, Threshold: threshold})
+	hops, err := ppr.HopsCtx(ctx, e.op, source, ppr.Config{C: c, L: L, Threshold: threshold})
+	if err != nil {
+		return nil, err
+	}
 	piVec := ppr.Sum(hops, n)
 	piNorm2 := piVec.Norm2Squared()
 	res.PiNorm2 = piNorm2
@@ -313,9 +351,12 @@ func (e *Engine) singleSourceOptimized(source graph.NodeID) (*Result, error) {
 		reqs = append(reqs, req)
 		res.TotalSamples += int64(rk)
 	}
-	dvals := diag.Batch(e.g, reqs, diag.Options{
+	dvals, err := diag.BatchCtx(ctx, e.g, reqs, diag.Options{
 		C: c, Improved: !e.opt.NoLocalExploit, Workers: e.opt.Workers, Seed: e.opt.Seed,
 	})
+	if err != nil {
+		return nil, err
+	}
 	dHat := make([]float64, n)
 	for i, req := range reqs {
 		dHat[req.Node] = dvals[i]
@@ -329,6 +370,9 @@ func (e *Engine) singleSourceOptimized(source graph.NodeID) (*Result, error) {
 	tmp := make([]float64, n)
 	invOneMinusSqrtC := 1 / (1 - sqrtC)
 	for j := L; j >= 0; j-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if j < L {
 			e.op.ApplyPT(tmp, s, sqrtC)
 			s, tmp = tmp, s
@@ -395,7 +439,13 @@ func (e *Engine) SingleSourceWithD(source graph.NodeID, d []float64) (*Result, e
 // TopK returns the k nodes most similar to source (source excluded),
 // sorted by descending SimRank, along with the underlying Result.
 func (e *Engine) TopK(source graph.NodeID, k int) ([]sparse.Entry, *Result, error) {
-	res, err := e.SingleSource(source)
+	return e.TopKCtx(context.Background(), source, k)
+}
+
+// TopKCtx is TopK under a context; see SingleSourceCtx for the
+// cancellation granularity.
+func (e *Engine) TopKCtx(ctx context.Context, source graph.NodeID, k int) ([]sparse.Entry, *Result, error) {
+	res, err := e.SingleSourceCtx(ctx, source)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -16,6 +16,7 @@
 package diag
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -40,7 +41,22 @@ type Estimator struct {
 	w    *walk.Walker
 	acc  *sparse.Accumulator // level extension scratch
 	zacc *sparse.Accumulator // Z-recursion scratch
+	// stop, when non-nil, is polled inside the sample and exploration
+	// loops (every stopCheckMask+1 samples); once set, estimates are
+	// abandoned mid-node. Only BatchCtx sets it, and it discards the
+	// partial output, so a non-cancelled run stays bit-reproducible.
+	stop *atomic.Bool
 }
+
+// stopCheckMask controls how often the sample loops poll the stop flag:
+// every 4096 walk pairs, ≈ tens of microseconds of work between polls.
+const stopCheckMask = 4095
+
+// SetStop installs a cooperative cancellation flag (nil to clear).
+func (e *Estimator) SetStop(stop *atomic.Bool) { e.stop = stop }
+
+// stopped reports whether a cancellation flag is set.
+func (e *Estimator) stopped() bool { return e.stop != nil && e.stop.Load() }
 
 // NewEstimator returns an estimator with decay c and a deterministic seed.
 func NewEstimator(g *graph.Graph, c float64, seed uint64) *Estimator {
@@ -67,6 +83,9 @@ func (e *Estimator) Basic(k graph.NodeID, samples int) float64 {
 	}
 	noMeet := 0
 	for s := 0; s < samples; s++ {
+		if s&stopCheckMask == 0 && e.stopped() {
+			break
+		}
 		if e.w.PairNoMeet(k) {
 			noMeet++
 		}
@@ -124,6 +143,9 @@ func (e *Estimator) ImprovedWith(k graph.NodeID, p ImprovedParams) float64 {
 	cl := math.Pow(e.c, float64(lk))
 	inv := cl / float64(samples)
 	for s := 0; s < samples; s++ {
+		if s&stopCheckMask == 0 && e.stopped() {
+			break
+		}
 		// With lk == 0 the prefix is empty and this is exactly Algorithm 2.
 		x, y, ok := e.w.NonStopPrefixPair(k, lk)
 		if !ok {
@@ -197,6 +219,9 @@ func (e *Estimator) explore(k graph.NodeID, budget int64, maxDepth int) (int, fl
 	zSum := 0.0
 
 	for ell := 1; ell <= maxDepth; ell++ {
+		if e.stopped() {
+			return ell - 1, zSum
+		}
 		// Grow the from-k distribution to level ell.
 		if len(stK.levels) <= ell {
 			if !extend(stK) {
@@ -285,14 +310,37 @@ type Options struct {
 // property the paper's parallelization paragraph demands of a ground-truth
 // tool.
 func Batch(g *graph.Graph, reqs []Request, opt Options) []float64 {
+	out, _ := BatchCtx(context.Background(), g, reqs, opt)
+	return out
+}
+
+// BatchCtx is Batch under a context: cancellation is observed between
+// requests and — via the estimators' stop flag — inside the per-node sample
+// and exploration loops, so even a single astronomically-sampled node
+// cannot outlive its deadline by more than a few thousand walk pairs.
+// On cancellation the partial output is discarded and ctx.Err() returned.
+func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) ([]float64, error) {
 	workers := opt.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	var stop atomic.Bool
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
 	out := make([]float64, len(reqs))
 	var next int64
 	run := func(e *Estimator) {
-		for {
+		e.SetStop(&stop)
+		for !stop.Load() {
 			i := int(atomic.AddInt64(&next, 1) - 1)
 			if i >= len(reqs) {
 				return
@@ -312,18 +360,21 @@ func Batch(g *graph.Graph, reqs []Request, opt Options) []float64 {
 	}
 	if workers == 1 {
 		run(NewEstimator(g, opt.C, opt.Seed))
-		return out
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				run(NewEstimator(g, opt.C, opt.Seed+uint64(id)))
+			}(w)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			run(NewEstimator(g, opt.C, opt.Seed+uint64(id)))
-		}(w)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	return out, nil
 }
 
 // ExactByIteration computes D exactly by value iteration on the pair chain

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"github.com/exactsim/exactsim/internal/algo"
 	"github.com/exactsim/exactsim/internal/core"
 	"github.com/exactsim/exactsim/internal/dataset"
 )
@@ -203,21 +205,21 @@ func (r *Runner) table3() (*Report, error) {
 		g := spec.Generate(r.cfg.Scale)
 		src := pickSources(g, 1, r.cfg.Seed)[0]
 		var extras [2]int64
-		for i, optimized := range []bool{false, true} {
+		for i, regName := range []string{"exactsim-basic", "exactsim"} {
 			// SampleFactor is irrelevant to the memory profile; keep it
 			// tiny so Table 3 measures memory, not sampling time.
-			eng, err := core.New(g, core.Options{
-				C: r.cfg.C, Epsilon: eps, Optimized: optimized,
-				Seed: r.cfg.Seed, SampleFactor: 1e-12,
-			})
+			q, err := algo.New(regName, g,
+				algo.WithC(r.cfg.C), algo.WithEpsilon(eps),
+				algo.WithSeed(r.cfg.Seed), algo.WithSampleFactor(1e-12))
 			if err != nil {
 				return nil, err
 			}
-			res, err := eng.SingleSource(src)
+			res, err := q.SingleSource(context.Background(), src)
 			if err != nil {
 				return nil, err
 			}
-			extras[i] = res.ExtraBytes
+			// The ExactSim adapters carry the full core record in Detail.
+			extras[i] = res.Detail.(*core.Result).ExtraBytes
 		}
 		mb := func(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
 		rep.Rows = append(rep.Rows, []string{

@@ -10,16 +10,16 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"time"
 
-	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/algo"
 	"github.com/exactsim/exactsim/internal/dataset"
 	"github.com/exactsim/exactsim/internal/graph"
-	"github.com/exactsim/exactsim/internal/powermethod"
 	"github.com/exactsim/exactsim/internal/rng"
 )
 
@@ -120,34 +120,39 @@ func NewEnv(cfg Config, spec dataset.Spec) (*Env, error) {
 	env := &Env{Spec: spec, G: g}
 	env.Sources = pickSources(g, cfg.Queries, cfg.Seed)
 
+	// Ground truth comes through the same registry the sweeps use: the
+	// power method for small graphs, optimized ExactSim for large ones.
 	start := time.Now()
+	var (
+		truthName string
+		truthOpts []algo.Option
+	)
 	if spec.Class == dataset.Small {
 		cfg.logf("[%s] ground truth: power method on n=%d m=%d ...", spec.Key, g.N(), g.M())
-		L := powermethod.Iterations(cfg.C, 1e-9)
-		mat := powermethod.Compute(g, powermethod.Options{C: cfg.C, L: L, Workers: cfg.Workers})
-		for _, s := range env.Sources {
-			env.Truth = append(env.Truth, mat.SingleSource(s))
-		}
+		truthName = "powermethod"
+		truthOpts = []algo.Option{algo.WithC(cfg.C), algo.WithWorkers(cfg.Workers)}
 		env.TruthKind = "powermethod"
 	} else {
 		cfg.logf("[%s] ground truth: ExactSim eps=%g on n=%d m=%d ...",
 			spec.Key, cfg.GroundTruthEps, g.N(), g.M())
-		eng, err := core.New(g, core.Options{
-			C: cfg.C, Epsilon: cfg.GroundTruthEps, Optimized: true,
-			Workers: cfg.Workers, Seed: cfg.Seed ^ 0xfeedface,
-			SampleFactor: cfg.SampleFactor,
-		})
+		truthName = "exactsim"
+		truthOpts = []algo.Option{
+			algo.WithC(cfg.C), algo.WithEpsilon(cfg.GroundTruthEps),
+			algo.WithWorkers(cfg.Workers), algo.WithSeed(cfg.Seed ^ 0xfeedface),
+			algo.WithSampleFactor(cfg.SampleFactor),
+		}
+		env.TruthKind = fmt.Sprintf("exactsim(%g)", cfg.GroundTruthEps)
+	}
+	oracle, err := algo.New(truthName, g, truthOpts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range env.Sources {
+		res, err := oracle.SingleSource(context.Background(), s)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range env.Sources {
-			res, err := eng.SingleSource(s)
-			if err != nil {
-				return nil, err
-			}
-			env.Truth = append(env.Truth, res.Scores)
-		}
-		env.TruthKind = fmt.Sprintf("exactsim(%g)", cfg.GroundTruthEps)
+		env.Truth = append(env.Truth, res.Scores)
 	}
 	cfg.logf("[%s] ground truth ready in %v", spec.Key, time.Since(start).Round(time.Millisecond))
 	return env, nil

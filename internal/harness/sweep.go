@@ -1,43 +1,39 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/algo"
 	"github.com/exactsim/exactsim/internal/eval"
-	"github.com/exactsim/exactsim/internal/graph"
 	"github.com/exactsim/exactsim/internal/lineariz"
-	"github.com/exactsim/exactsim/internal/mc"
-	"github.com/exactsim/exactsim/internal/parsim"
-	"github.com/exactsim/exactsim/internal/prsim"
 )
 
-// queryFunc produces a single-source score vector.
-type queryFunc func(src graph.NodeID) []float64
-
-// measure runs the query set for one sweep point and aggregates metrics.
-// The time budget stops further queries once exceeded; the point keeps the
-// averages over the queries that did run.
-func (cfg Config) measure(env *Env, method, param string,
-	prep time.Duration, indexBytes int64, q queryFunc) Point {
-
-	p := Point{
-		Dataset: env.Spec.Key, Method: method, Param: param,
-		PrepSeconds: secs(prep), IndexBytes: indexBytes,
-	}
-	if prep == 0 {
-		p.PrepSeconds = 0
+// measure runs the query set for one sweep point through the unified
+// Querier interface and aggregates metrics. Preprocessing cost and index
+// size come from the optional algo.Index interface (zero for index-free
+// methods, matching the paper's figures). The time budget stops further
+// queries once exceeded; the point keeps the averages over the queries
+// that did run.
+func (cfg Config) measure(env *Env, method, param string, q algo.Querier) Point {
+	p := Point{Dataset: env.Spec.Key, Method: method, Param: param}
+	if ix, ok := q.(algo.Index); ok {
+		p.PrepSeconds = secs(ix.PrepTime())
+		p.IndexBytes = ix.IndexBytes()
 	}
 	k := cfg.kFor(env.G)
+	ctx := context.Background()
 	var queryTotal time.Duration
 	ran := 0
 	for i, src := range env.Sources {
-		start := time.Now()
-		scores := q(src)
-		queryTotal += time.Since(start)
-		p.MaxError += eval.MaxError(scores, env.Truth[i])
-		p.Precision += eval.PrecisionAtK(scores, env.Truth[i], k, src)
+		res, err := q.SingleSource(ctx, src)
+		if err != nil {
+			return omittedPoint(env, method, param, err.Error())
+		}
+		queryTotal += res.QueryTime
+		p.MaxError += eval.MaxError(res.Scores, env.Truth[i])
+		p.Precision += eval.PrecisionAtK(res.Scores, env.Truth[i], k, src)
 		ran++
 		if queryTotal > cfg.TimeBudget {
 			break
@@ -54,6 +50,17 @@ func (cfg Config) measure(env *Env, method, param string,
 	cfg.logf("  %-12s %-14s prep=%8.3fs query=%8.4fs maxerr=%.3e prec@%d=%.3f",
 		method, param, p.PrepSeconds, p.QuerySeconds, p.MaxError, k, p.Precision)
 	return p
+}
+
+// sweepPoint constructs the named registry algorithm and measures it; a
+// failed construction (bad options, cancelled build) becomes an omitted
+// point rather than aborting the sweep.
+func (cfg Config) sweepPoint(env *Env, method, param, regName string, opts ...algo.Option) Point {
+	q, err := algo.New(regName, env.G, opts...)
+	if err != nil {
+		return omittedPoint(env, method, param, err.Error())
+	}
+	return cfg.measure(env, method, param, q)
 }
 
 func omittedPoint(env *Env, method, param, reason string) Point {
@@ -78,11 +85,20 @@ func (cfg Config) predictedOver(prev Point, growth float64) bool {
 	return predicted > 3*cfg.TimeBudget.Seconds()
 }
 
+// baseOpts are the options every sweep shares.
+func (cfg Config) baseOpts(seedOffset uint64) []algo.Option {
+	return []algo.Option{
+		algo.WithC(cfg.C),
+		algo.WithSeed(cfg.Seed + seedOffset),
+		algo.WithSampleFactor(cfg.SampleFactor),
+	}
+}
+
 // SweepExactSim sweeps ExactSim (optimized or basic) over the ε grid.
 func SweepExactSim(cfg Config, env *Env, optimized bool) []Point {
-	name := "ExactSim"
+	name, regName := "ExactSim", "exactsim"
 	if !optimized {
-		name = "ExactSim-basic"
+		name, regName = "ExactSim-basic", "exactsim-basic"
 	}
 	var out []Point
 	for i, eps := range cfg.epsGrid() {
@@ -91,21 +107,8 @@ func SweepExactSim(cfg Config, env *Env, optimized bool) []Point {
 			out = append(out, omittedPoint(env, name, param, "predicted over budget"))
 			continue
 		}
-		eng, err := core.New(env.G, core.Options{
-			C: cfg.C, Epsilon: eps, Optimized: optimized,
-			Seed: cfg.Seed + uint64(i), SampleFactor: cfg.SampleFactor,
-		})
-		if err != nil {
-			out = append(out, omittedPoint(env, name, param, err.Error()))
-			continue
-		}
-		p := cfg.measure(env, name, param, 0, 0, func(src graph.NodeID) []float64 {
-			res, qerr := eng.SingleSource(src)
-			if qerr != nil {
-				panic(qerr) // sources are validated; unreachable
-			}
-			return res.Scores
-		})
+		opts := append(cfg.baseOpts(uint64(i)), algo.WithEpsilon(eps))
+		p := cfg.sweepPoint(env, name, param, regName, opts...)
 		out = append(out, p)
 		if cfg.budgetExceeded(p) {
 			for _, eps2 := range cfg.epsGrid()[i+1:] {
@@ -131,8 +134,8 @@ func SweepMC(cfg Config, env *Env) []Point {
 			out = append(out, omittedPoint(env, "MC", param, "predicted over budget"))
 			continue
 		}
-		ix := mc.Build(env.G, mc.Params{C: cfg.C, L: g.L, R: g.R, Seed: cfg.Seed + uint64(i)})
-		p := cfg.measure(env, "MC", param, ix.PrepTime, ix.Bytes(), ix.SingleSource)
+		opts := append(cfg.baseOpts(uint64(i)), algo.WithWalks(g.L, g.R))
+		p := cfg.sweepPoint(env, "MC", param, "mc", opts...)
 		out = append(out, p)
 		if cfg.budgetExceeded(p) {
 			for _, g2 := range grid[i+1:] {
@@ -155,8 +158,8 @@ func SweepParSim(cfg Config, env *Env) []Point {
 			out = append(out, omittedPoint(env, "ParSim", param, "predicted over budget"))
 			continue
 		}
-		eng := parsim.New(env.G, parsim.Params{C: cfg.C, L: L})
-		p := cfg.measure(env, "ParSim", param, 0, 0, eng.SingleSource)
+		opts := append(cfg.baseOpts(0), algo.WithIterations(L))
+		p := cfg.sweepPoint(env, "ParSim", param, "parsim", opts...)
 		out = append(out, p)
 		if cfg.budgetExceeded(p) {
 			for _, L2 := range grid[i+1:] {
@@ -175,18 +178,19 @@ func SweepLinearization(cfg Config, env *Env) []Point {
 	var out []Point
 	for i, eps := range cfg.epsGrid() {
 		param := fmtEps(eps)
-		params := lineariz.Params{C: cfg.C, Eps: eps, Workers: 1,
-			Seed: cfg.Seed + uint64(i), SampleFactor: cfg.SampleFactor}
 		// predictive gate from the exact pair count (~5e7 walk steps/s,
 		// ~7 steps per pair)
-		est := float64(lineariz.PrepCost(env.G, params)) * 7 / 5e7
+		cost := lineariz.PrepCost(env.G, lineariz.Params{
+			C: cfg.C, Eps: eps, SampleFactor: cfg.SampleFactor,
+		})
+		est := float64(cost) * 7 / 5e7
 		if est > 3*cfg.TimeBudget.Seconds() {
 			out = append(out, omittedPoint(env, "Linearization", param,
 				fmt.Sprintf("preprocessing predicted %.0fs", est)))
 			continue
 		}
-		ix := lineariz.Build(env.G, params)
-		p := cfg.measure(env, "Linearization", param, ix.PrepTime, ix.Bytes(), ix.SingleSource)
+		opts := append(cfg.baseOpts(uint64(i)), algo.WithEpsilon(eps))
+		p := cfg.sweepPoint(env, "Linearization", param, "linearization", opts...)
 		out = append(out, p)
 		if cfg.budgetExceeded(p) {
 			for _, eps2 := range cfg.epsGrid()[i+1:] {
@@ -207,11 +211,8 @@ func SweepPRSim(cfg Config, env *Env) []Point {
 			out = append(out, omittedPoint(env, "PRSim", param, "predicted over budget"))
 			continue
 		}
-		ix := prsim.Build(env.G, prsim.Params{
-			C: cfg.C, Eps: eps, Workers: 1,
-			Seed: cfg.Seed + uint64(i), SampleFactor: cfg.SampleFactor,
-		})
-		p := cfg.measure(env, "PRSim", param, ix.PrepTime, ix.Bytes(), ix.SingleSource)
+		opts := append(cfg.baseOpts(uint64(i)), algo.WithEpsilon(eps))
+		p := cfg.sweepPoint(env, "PRSim", param, "prsim", opts...)
 		out = append(out, p)
 		if cfg.budgetExceeded(p) {
 			for _, eps2 := range cfg.epsGrid()[i+1:] {
@@ -241,20 +242,24 @@ func SweepAll(cfg Config, env *Env) []Point {
 }
 
 // SweepAblation compares the optimized component stack for Figure 9 plus
-// the DESIGN.md "ablation-extra" variants.
+// the DESIGN.md "ablation-extra" variants, all through the registry: the
+// ablation switches are ordinary querier options.
 func SweepAblation(cfg Config, env *Env, extra bool) []Point {
 	type variant struct {
-		name string
-		opt  core.Options
+		name    string
+		regName string
+		extra   []algo.Option
 	}
 	variants := []variant{
-		{"ExactSim", core.Options{C: cfg.C, Optimized: true}},
-		{"ExactSim-basic", core.Options{C: cfg.C, Optimized: false}},
+		{"ExactSim", "exactsim", nil},
+		{"ExactSim-basic", "exactsim-basic", nil},
 	}
 	if extra {
 		variants = append(variants,
-			variant{"ExactSim-noPi2", core.Options{C: cfg.C, Optimized: true, NoPiSquaredSampling: true}},
-			variant{"ExactSim-noExploit", core.Options{C: cfg.C, Optimized: true, NoLocalExploit: true}},
+			variant{"ExactSim-noPi2", "exactsim",
+				[]algo.Option{algo.WithoutPiSquaredSampling()}},
+			variant{"ExactSim-noExploit", "exactsim",
+				[]algo.Option{algo.WithoutLocalExploit()}},
 		)
 	}
 	var out []Point
@@ -268,22 +273,9 @@ func SweepAblation(cfg Config, env *Env, extra bool) []Point {
 				prev = Point{Omitted: true}
 				continue
 			}
-			opt := v.opt
-			opt.Epsilon = eps
-			opt.Seed = cfg.Seed + uint64(i)
-			opt.SampleFactor = cfg.SampleFactor
-			eng, err := core.New(env.G, opt)
-			if err != nil {
-				out = append(out, omittedPoint(env, v.name, param, err.Error()))
-				continue
-			}
-			p := cfg.measure(env, v.name, param, 0, 0, func(src graph.NodeID) []float64 {
-				res, qerr := eng.SingleSource(src)
-				if qerr != nil {
-					panic(qerr)
-				}
-				return res.Scores
-			})
+			opts := append(cfg.baseOpts(uint64(i)), algo.WithEpsilon(eps))
+			opts = append(opts, v.extra...)
+			p := cfg.sweepPoint(env, v.name, param, v.regName, opts...)
 			out = append(out, p)
 			prev = p
 			if cfg.budgetExceeded(p) {

@@ -15,6 +15,7 @@
 package lineariz
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -68,15 +69,26 @@ func samplesPerNode(g *graph.Graph, p Params) int {
 
 // Build runs the Monte-Carlo D estimation for every node.
 func Build(g *graph.Graph, p Params) *Index {
+	ix, _ := BuildCtx(context.Background(), g, p)
+	return ix
+}
+
+// BuildCtx is Build under a context; the O(n·log n/ε²) sampling wall this
+// preprocessing hits is exactly the phase a serving deadline must be able
+// to abort, and diag.BatchCtx checks inside the per-node sample loops.
+func BuildCtx(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	start := time.Now()
 	rd := samplesPerNode(g, p)
 	reqs := make([]diag.Request, g.N())
 	for k := range reqs {
 		reqs[k] = diag.Request{Node: int32(k), Samples: rd}
 	}
-	d := diag.Batch(g, reqs, diag.Options{
+	d, err := diag.BatchCtx(ctx, g, reqs, diag.Options{
 		C: p.C, Improved: false, Workers: p.Workers, Seed: p.Seed,
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Index{
 		g:              g,
 		op:             linalg.NewOperator(g, 1),
@@ -84,7 +96,7 @@ func Build(g *graph.Graph, p Params) *Index {
 		d:              d,
 		PrepTime:       time.Since(start),
 		SamplesPerNode: rd,
-	}
+	}, nil
 }
 
 // BuildWithDiagonal wraps a precomputed diagonal (used by tests and by the
@@ -102,6 +114,14 @@ func (ix *Index) Levels() int {
 // SingleSource evaluates S_L·e_source = Σ_{ℓ=0}^{L} c^ℓ (Pᵀ)^ℓ D P^ℓ e_source
 // by recomputing P^ℓ·e_source per level (eq. 5): O(m·L²) time, O(n) memory.
 func (ix *Index) SingleSource(source graph.NodeID) []float64 {
+	s, _ := ix.SingleSourceCtx(context.Background(), source)
+	return s
+}
+
+// SingleSourceCtx is SingleSource with cancellation checked inside the
+// nested iteration — once per O(m) matrix application, not just per outer
+// level, since the inner loops grow linearly with ℓ.
+func (ix *Index) SingleSourceCtx(ctx context.Context, source graph.NodeID) ([]float64, error) {
 	n := ix.g.N()
 	cc := ix.p.C
 	L := ix.Levels()
@@ -115,6 +135,9 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 		}
 		u[source] = 1
 		for s := 0; s < ell; s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ix.op.ApplyP(v, u, 1)
 			u, v = v, u
 		}
@@ -123,6 +146,9 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 			u[i] *= ix.d[i]
 		}
 		for s := 0; s < ell; s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ix.op.ApplyPT(v, u, 1)
 			u, v = v, u
 		}
@@ -132,7 +158,7 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 		}
 	}
 	scores[source] = 1
-	return scores
+	return scores, nil
 }
 
 // Diagonal exposes the estimated D (aliased; callers must not modify).

@@ -14,6 +14,7 @@
 package mc
 
 import (
+	"context"
 	"time"
 
 	"github.com/exactsim/exactsim/internal/graph"
@@ -42,6 +43,13 @@ type Index struct {
 
 // Build simulates and stores the walk index.
 func Build(g *graph.Graph, p Params) *Index {
+	ix, _ := BuildCtx(context.Background(), g, p)
+	return ix
+}
+
+// BuildCtx is Build with cancellation checked once per source node (R
+// walks ≈ microseconds of work between checks).
+func BuildCtx(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	start := time.Now()
 	n := g.N()
 	w := walk.NewWalker(g, p.C, p.Seed)
@@ -51,6 +59,9 @@ func Build(g *graph.Graph, p Params) *Index {
 	ix.data = make([]graph.NodeID, 0, n*p.R*4)
 	var buf []graph.NodeID
 	for v := 0; v < n; v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for r := 0; r < p.R; r++ {
 			buf = w.Trajectory(int32(v), p.L, buf)
 			ix.data = append(ix.data, buf...)
@@ -58,7 +69,7 @@ func Build(g *graph.Graph, p Params) *Index {
 		}
 	}
 	ix.PrepTime = time.Since(start)
-	return ix
+	return ix, nil
 }
 
 // walkOf returns the stored trajectory for (node, walk id).
@@ -70,6 +81,13 @@ func (ix *Index) walkOf(v graph.NodeID, r int) []graph.NodeID {
 // SingleSource estimates S(source, j) for every j by the meeting fraction
 // of the stored walk pairs.
 func (ix *Index) SingleSource(source graph.NodeID) []float64 {
+	s, _ := ix.SingleSourceCtx(context.Background(), source)
+	return s
+}
+
+// SingleSourceCtx is SingleSource with cancellation checked every 1024
+// candidate nodes (each candidate costs R trajectory comparisons).
+func (ix *Index) SingleSourceCtx(ctx context.Context, source graph.NodeID) ([]float64, error) {
 	n := ix.g.N()
 	scores := make([]float64, n)
 	inv := 1 / float64(ix.p.R)
@@ -79,6 +97,11 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 		srcWalks[r] = ix.walkOf(source, r)
 	}
 	for j := 0; j < n; j++ {
+		if j&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		met := 0
 		for r := 0; r < ix.p.R; r++ {
 			if walk.TrajectoriesMeet(srcWalks[r], ix.walkOf(int32(j), r)) {
@@ -88,7 +111,7 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 		scores[j] = float64(met) * inv
 	}
 	scores[source] = 1
-	return scores
+	return scores, nil
 }
 
 // Bytes returns the index footprint (Figure 4/8 x-axis).

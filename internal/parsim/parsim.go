@@ -11,6 +11,7 @@
 package parsim
 
 import (
+	"context"
 	"math"
 
 	"github.com/exactsim/exactsim/internal/graph"
@@ -44,10 +45,21 @@ const truncation = 1e-15
 // SingleSource computes Σ_{ℓ=0}^{L} c^ℓ (Pᵀ)^ℓ (1−c) P^ℓ e_source using the
 // backward-accumulation identity (paper eq. 6) with D = (1−c)·I.
 func (e *Engine) SingleSource(source graph.NodeID) []float64 {
+	s, _ := e.SingleSourceCtx(context.Background(), source)
+	return s
+}
+
+// SingleSourceCtx is SingleSource with per-level cancellation in both the
+// forward and backward sweeps (each level costs O(m), so a deadline is
+// honored within one matrix application).
+func (e *Engine) SingleSourceCtx(ctx context.Context, source graph.NodeID) ([]float64, error) {
 	c := e.p.C
 	sqrtC := math.Sqrt(c)
 	n := e.g.N()
-	hops := ppr.Hops(e.op, source, ppr.Config{C: c, L: e.p.L, Threshold: truncation})
+	hops, err := ppr.HopsCtx(ctx, e.op, source, ppr.Config{C: c, L: e.p.L, Threshold: truncation})
+	if err != nil {
+		return nil, err
+	}
 
 	// With D = (1−c)I the correction constant becomes (1−c)/(1−√c)²·...:
 	// S·e_i ≈ Σ_ℓ (√cPᵀ)^ℓ (1−c)/(1−√c) π_i^ℓ · 1/(1−√c) — same backward
@@ -58,6 +70,9 @@ func (e *Engine) SingleSource(source graph.NodeID) []float64 {
 	// cancels against the 1/(1−√c) of eq. 8.
 	coeff := (1 - c) / (1 - sqrtC)
 	for j := e.p.L; j >= 0; j-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if j < e.p.L {
 			e.op.ApplyPT(tmp, s, sqrtC)
 			s, tmp = tmp, s
@@ -68,7 +83,7 @@ func (e *Engine) SingleSource(source graph.NodeID) []float64 {
 		}
 	}
 	s[source] = 1
-	return s
+	return s, nil
 }
 
 // MaxLevelBytes reports the peak memory of the level vectors for a query —

@@ -13,6 +13,7 @@
 package powermethod
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -47,6 +48,13 @@ func Iterations(c, eps float64) int {
 // 2·n²·8 bytes; callers are expected to keep n modest (the whole point of
 // the paper).
 func Compute(g *graph.Graph, opt Options) *Matrix {
+	m, _ := ComputeCtx(context.Background(), g, opt)
+	return m
+}
+
+// ComputeCtx is Compute with per-iteration cancellation (each iteration
+// costs O(n·m), so on anything but toy graphs a deadline matters here).
+func ComputeCtx(ctx context.Context, g *graph.Graph, opt Options) (*Matrix, error) {
 	if opt.C <= 0 || opt.C >= 1 {
 		panic("powermethod: decay factor must lie in (0,1)")
 	}
@@ -69,6 +77,9 @@ func Compute(g *graph.Graph, opt Options) *Matrix {
 		}
 	}
 	for iter := 0; iter < L; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// tmp = S·P :  tmp(u,j) = (1/d_in(j))·Σ_{v∈I(j)} S(u,v)
 		parallelRows(n, workers, func(u int) {
 			srow := cur.Row(u)
@@ -107,7 +118,7 @@ func Compute(g *graph.Graph, opt Options) *Matrix {
 		})
 		cur, next = next, cur
 	}
-	return cur
+	return cur, nil
 }
 
 func newIdentity(n int) *Matrix {

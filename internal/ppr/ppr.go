@@ -12,6 +12,7 @@
 package ppr
 
 import (
+	"context"
 	"math"
 
 	"github.com/exactsim/exactsim/internal/graph"
@@ -44,6 +45,14 @@ func Levels(c, eps float64) int {
 
 // Hops returns the sparse hop vectors [π^0, π^1, …, π^L] for the source.
 func Hops(op *linalg.Operator, source graph.NodeID, cfg Config) []sparse.Vector {
+	out, _ := HopsCtx(context.Background(), op, source, cfg)
+	return out
+}
+
+// HopsCtx is Hops with per-level cancellation: the context is checked
+// before every application of √c·P, so a deadline interrupts the forward
+// phase after at most one level's worth of work.
+func HopsCtx(ctx context.Context, op *linalg.Operator, source graph.NodeID, cfg Config) ([]sparse.Vector, error) {
 	sqrtC := math.Sqrt(cfg.C)
 	n := op.Graph().N()
 	acc := sparse.NewAccumulator(n)
@@ -51,6 +60,9 @@ func Hops(op *linalg.Operator, source graph.NodeID, cfg Config) []sparse.Vector 
 	cur := sparse.Vector{Idx: []int32{source}, Val: []float64{1 - sqrtC}}
 	out = append(out, cur.Clone())
 	for ell := 1; ell <= cfg.L; ell++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur = op.ApplyPSparse(&cur, acc, sqrtC, cfg.Threshold)
 		out = append(out, cur.Clone())
 		if cur.Len() == 0 {
@@ -61,12 +73,18 @@ func Hops(op *linalg.Operator, source graph.NodeID, cfg Config) []sparse.Vector 
 			break
 		}
 	}
-	return out
+	return out, nil
 }
 
 // HopsDense returns dense hop vectors; used by the basic (unoptimized)
 // ExactSim variant and by tests.
 func HopsDense(op *linalg.Operator, source graph.NodeID, cfg Config) [][]float64 {
+	out, _ := HopsDenseCtx(context.Background(), op, source, cfg)
+	return out
+}
+
+// HopsDenseCtx is HopsDense with per-level cancellation.
+func HopsDenseCtx(ctx context.Context, op *linalg.Operator, source graph.NodeID, cfg Config) ([][]float64, error) {
 	sqrtC := math.Sqrt(cfg.C)
 	n := op.Graph().N()
 	out := make([][]float64, cfg.L+1)
@@ -75,11 +93,14 @@ func HopsDense(op *linalg.Operator, source graph.NodeID, cfg Config) [][]float64
 	out[0] = append([]float64(nil), cur...)
 	next := make([]float64, n)
 	for ell := 1; ell <= cfg.L; ell++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		op.ApplyP(next, cur, sqrtC)
 		cur, next = next, cur
 		out[ell] = append([]float64(nil), cur...)
 	}
-	return out
+	return out, nil
 }
 
 // Sum aggregates hop vectors into the full PPR vector π_i = Σ_ℓ π_i^ℓ.

@@ -23,6 +23,8 @@
 package probesim
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"github.com/exactsim/exactsim/internal/graph"
@@ -54,13 +56,23 @@ type Engine struct {
 	l  int // walk length cap
 }
 
-// New validates parameters and returns an engine.
+// New validates parameters and returns an engine; it panics on invalid
+// parameters (NewChecked is the error-returning form).
 func New(g *graph.Graph, p Params) *Engine {
-	if p.C <= 0 || p.C >= 1 {
-		panic("probesim: decay factor must lie in (0,1)")
+	e, err := NewChecked(g, p)
+	if err != nil {
+		panic(err.Error())
 	}
-	if p.Eps <= 0 || p.Eps >= 1 {
-		panic("probesim: eps must lie in (0,1)")
+	return e
+}
+
+// NewChecked validates parameters and returns an engine or an error.
+func NewChecked(g *graph.Graph, p Params) (*Engine, error) {
+	if !(p.C > 0 && p.C < 1) { // negated form also rejects NaN
+		return nil, fmt.Errorf("probesim: decay factor %g outside (0,1)", p.C)
+	}
+	if !(p.Eps > 0 && p.Eps < 1) {
+		return nil, fmt.Errorf("probesim: eps %g outside (0,1)", p.Eps)
 	}
 	if p.SampleFactor == 0 {
 		p.SampleFactor = 1
@@ -80,7 +92,7 @@ func New(g *graph.Graph, p Params) *Engine {
 	if r < 1 {
 		r = 1
 	}
-	return &Engine{g: g, op: linalg.NewOperator(g, 1), p: p, r: r, l: p.MaxWalkLen}
+	return &Engine{g: g, op: linalg.NewOperator(g, 1), p: p, r: r, l: p.MaxWalkLen}, nil
 }
 
 // Samples returns the per-query sample count R.
@@ -88,6 +100,14 @@ func (e *Engine) Samples() int { return e.r }
 
 // SingleSource estimates S(source, j) for all j.
 func (e *Engine) SingleSource(source graph.NodeID) []float64 {
+	s, _ := e.SingleSourceCtx(context.Background(), source)
+	return s
+}
+
+// SingleSourceCtx is SingleSource with cancellation checked every 64
+// samples (each sample's probe pass can touch a large neighborhood, so
+// the interval is tighter than for plain walk loops).
+func (e *Engine) SingleSourceCtx(ctx context.Context, source graph.NodeID) ([]float64, error) {
 	n := e.g.N()
 	scores := make([]float64, n)
 	w := walk.NewWalker(e.g, e.p.C, e.p.Seed^(0x9e3779b97f4a7c15*uint64(source+1)))
@@ -95,6 +115,11 @@ func (e *Engine) SingleSource(source graph.NodeID) []float64 {
 	var traj []graph.NodeID
 	inv := 1 / float64(e.r)
 	for s := 0; s < e.r; s++ {
+		if s&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		traj = w.Trajectory(source, e.l, traj)
 		probe := e.probe(traj, acc)
 		for i, j := range probe.Idx {
@@ -102,7 +127,7 @@ func (e *Engine) SingleSource(source graph.NodeID) []float64 {
 		}
 	}
 	scores[source] = 1
-	return scores
+	return scores, nil
 }
 
 // probe runs the backward pass over one sampled trajectory and returns

@@ -21,6 +21,7 @@
 package prsim
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -81,6 +82,13 @@ type Index struct {
 // Build computes PageRank, selects hubs, precomputes their reverse vectors
 // and D estimates.
 func Build(g *graph.Graph, p Params) *Index {
+	ix, _ := BuildCtx(context.Background(), g, p)
+	return ix
+}
+
+// BuildCtx is Build under a context: cancellation is observed between the
+// per-hub reverse-vector expansions and inside the hub D estimation.
+func BuildCtx(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	start := time.Now()
 	n := g.N()
 	p.normalize(n)
@@ -115,6 +123,9 @@ func Build(g *graph.Graph, p Params) *Index {
 	rev := make([][]sparse.Vector, p.HubCount)
 	acc := sparse.NewAccumulator(n)
 	for slot, k := range hubs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		levels := make([]sparse.Vector, 0, L+1)
 		cur := sparse.Vector{Idx: []int32{k}, Val: []float64{1 - sqrtC}}
 		levels = append(levels, cur.Clone())
@@ -147,15 +158,18 @@ func Build(g *graph.Graph, p Params) *Index {
 		}
 		reqs[slot] = diag.Request{Node: k, Samples: rk}
 	}
-	dHub := diag.Batch(g, reqs, diag.Options{
+	dHub, err := diag.BatchCtx(ctx, g, reqs, diag.Options{
 		C: p.C, Improved: true, Workers: p.Workers, Seed: p.Seed,
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	return &Index{
 		g: g, op: op, p: p, L: L,
 		hubs: hubs, hubPos: hubPos, rev: rev, dHub: dHub,
 		PrepTime: time.Since(start),
-	}
+	}, nil
 }
 
 // Bytes returns the index footprint (reverse vectors + hub metadata + D̂).
@@ -178,6 +192,13 @@ func (ix *Index) HubCount() int { return len(ix.hubs) }
 
 // SingleSource answers a PRSim single-source query.
 func (ix *Index) SingleSource(source graph.NodeID) []float64 {
+	s, _ := ix.SingleSourceCtx(context.Background(), source)
+	return s
+}
+
+// SingleSourceCtx is SingleSource with cancellation checked per forward
+// level and every few thousand tail samples (the dominant query cost).
+func (ix *Index) SingleSourceCtx(ctx context.Context, source graph.NodeID) ([]float64, error) {
 	n := ix.g.N()
 	c := ix.p.C
 	sqrtC := math.Sqrt(c)
@@ -185,7 +206,10 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 	scores := make([]float64, n)
 
 	// Exact forward vectors for the source.
-	hops := ppr.Hops(ix.op, source, ppr.Config{C: c, L: ix.L})
+	hops, err := ppr.HopsCtx(ctx, ix.op, source, ppr.Config{C: c, L: ix.L})
+	if err != nil {
+		return nil, err
+	}
 
 	// Hub part: scatter π_i^ℓ(k)·D̂(k)·r_k^ℓ for every indexed k.
 	for ell := 0; ell <= ix.L && ell < len(hops); ell++ {
@@ -219,10 +243,15 @@ func (ix *Index) SingleSource(source graph.NodeID) []float64 {
 	r := rng.New(ix.p.Seed ^ (0xabcdef123456789 + uint64(source)))
 	invRq := 1 / float64(rq)
 	for s := 0; s < rq; s++ {
+		if s&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ix.sampleTail(source, scores, invNorm*invRq, sqrtC, r)
 	}
 	scores[source] = 1
-	return scores
+	return scores, nil
 }
 
 // sampleTail performs one tail sample: forward emission walk, D trial,

@@ -1,0 +1,88 @@
+package exactsim
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cached single-source answer. Epsilon is part of
+// the key because the same (algorithm, source) pair answers differently at
+// different error targets; 0 means "service default".
+type cacheKey struct {
+	algorithm string
+	source    NodeID
+	epsilon   float64
+}
+
+// resultCache is a fixed-capacity LRU over full single-source results.
+// Top-k requests are served from the cached full vector, so one cached
+// query answers every k. Safe for concurrent use.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheSlot struct {
+	key cacheKey
+	res *QueryResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key cacheKey) (*QueryResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheSlot).res, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry when over capacity. The cached *QueryResult is shared with every
+// future hit; callers must treat it as read-only.
+func (c *resultCache) put(key cacheKey, res *QueryResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheSlot).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheSlot{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheSlot).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

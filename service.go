@@ -1,0 +1,510 @@
+package exactsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServiceClosed is returned by Query and Batch after Close.
+var ErrServiceClosed = errors.New("exactsim: service closed")
+
+// ServiceOptions configures a Service. The zero value is usable: it serves
+// with one worker per CPU, a 1024-entry result cache, the "exactsim"
+// algorithm and no default deadline.
+type ServiceOptions struct {
+	// Workers is the size of the query worker pool — the maximum number of
+	// queries computing concurrently. 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queries waiting for a worker; submissions beyond
+	// it block in Query until a slot frees (or their context expires).
+	// 0 selects 4×Workers.
+	QueueDepth int
+	// CacheSize is the single-source LRU capacity, keyed by (algorithm,
+	// source, ε). 0 selects 1024; negative disables caching.
+	CacheSize int
+	// MaxQueriers bounds the retained (algorithm, ε) queriers — each can
+	// hold a full index, so the map must not grow with every distinct
+	// client-supplied epsilon. Least-recently-used queriers are dropped
+	// beyond the bound (in-flight queries keep theirs; the structures are
+	// immutable). 0 selects 64.
+	MaxQueriers int
+	// DefaultAlgorithm answers requests with an empty Algorithm field.
+	// Empty selects "exactsim".
+	DefaultAlgorithm string
+	// DefaultTimeout, when positive, bounds every query that has no
+	// earlier deadline of its own; exceeding it surfaces as
+	// context.DeadlineExceeded in the Response.
+	DefaultTimeout time.Duration
+	// QuerierOptions are applied to every querier the service constructs,
+	// before the per-request epsilon. Use them to pin C, seeds, worker
+	// counts or sampling constants service-wide.
+	QuerierOptions []QuerierOption
+}
+
+func (o *ServiceOptions) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxQueriers <= 0 {
+		o.MaxQueriers = 64
+	}
+	if o.DefaultAlgorithm == "" {
+		o.DefaultAlgorithm = "exactsim"
+	}
+}
+
+// Request names one single-source (or top-k) SimRank query.
+type Request struct {
+	// Algorithm is a registry name (see Algorithms); empty selects the
+	// service default.
+	Algorithm string
+	// Source is the query node.
+	Source NodeID
+	// K, when positive, additionally extracts the top-k entries.
+	K int
+	// Epsilon overrides the error target for this request; 0 keeps the
+	// service-wide default. Distinct epsilons get distinct queriers and
+	// distinct cache lines.
+	Epsilon float64
+	// NoCache bypasses the result cache for this request (both lookup and
+	// fill) — for callers that need a fresh computation, e.g. right after
+	// graph updates elsewhere.
+	NoCache bool
+}
+
+// Response carries one request's outcome. Err is per-request: a batch can
+// mix successes and failures (cancelled queries report ctx.Err()).
+type Response struct {
+	// Request echoes the (normalized) request this answers.
+	Request Request
+	// Result is the full single-source result; shared with the cache, so
+	// treat Result.Scores as read-only.
+	Result *QueryResult
+	// TopK is populated when Request.K > 0.
+	TopK []Entry
+	// CacheHit reports whether Result came from the LRU.
+	CacheHit bool
+	// Err is the per-request error, nil on success.
+	Err error
+}
+
+// ServiceStats is a point-in-time counter snapshot.
+type ServiceStats struct {
+	// Queries is the number of requests answered (including failures).
+	Queries int64
+	// CacheHits counts requests served from the LRU.
+	CacheHits int64
+	// Errors counts requests that returned a non-nil Err.
+	Errors int64
+	// CachedResults is the current LRU entry count.
+	CachedResults int
+}
+
+// Service is a concurrent SimRank query front-end over one graph: a
+// bounded worker pool executing Querier calls, per-query deadlines with
+// cancellation honored inside the algorithms' computation loops, an LRU
+// cache of single-source results keyed by (algorithm, source, ε), and
+// lazy per-algorithm querier construction (an index-based algorithm pays
+// its build on first use, not at service start).
+//
+// Queriers are cached per (algorithm, ε) and shared across workers — the
+// underlying engines are immutable after construction, so concurrent
+// queries are safe (verified by the race-detector tests).
+type Service struct {
+	g    *Graph
+	opts ServiceOptions
+
+	jobs    chan *serviceJob
+	workers sync.WaitGroup
+
+	// buildCtx outlives individual requests: index builds run under it
+	// (cancelled only by Close), so one short-deadline request cannot
+	// abort-and-retry-forever a long build that later requests need.
+	buildCtx    context.Context
+	cancelBuild context.CancelFunc
+
+	// closeMu guards the jobs channel against send-after-close: Query
+	// sends under RLock, Close closes under Lock.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// queriers are lazily built per (algorithm, ε), one build in flight
+	// per key (single-flight); the map is LRU-bounded by MaxQueriers.
+	querierMu  sync.Mutex
+	queriers   map[querierKey]*querierSlot
+	querierSeq int64
+
+	// inflight dedupes identical cacheable requests: concurrent queries
+	// for the same (algorithm, source, ε) elect one leader to compute
+	// while the rest wait on its flight — without this, N clients asking
+	// for the same cold key would saturate the pool with N copies of the
+	// same expensive computation (cache stampede).
+	flightMu sync.Mutex
+	inflight map[cacheKey]*flight
+
+	cache *resultCache
+
+	queries   atomic.Int64
+	cacheHits atomic.Int64
+	errors    atomic.Int64
+}
+
+// querierKey identifies one constructed querier. Unlike the result
+// cacheKey it has no source field — a querier answers every source — and
+// the distinct type keeps a future edit from accidentally fragmenting the
+// querier map per source.
+type querierKey struct {
+	algorithm string
+	epsilon   float64
+}
+
+// querierSlot is the single-flight build state for one (algorithm, ε).
+// The creator spawns the build; everyone else waits on done under their
+// own context, so a slow index build never blocks a worker past its
+// request deadline.
+type querierSlot struct {
+	done chan struct{}
+	q    Querier
+	err  error
+	seq  int64 // recency for LRU eviction, guarded by Service.querierMu
+}
+
+// flight is one in-progress cacheable computation; waiters block on done
+// under their own contexts and read resp afterwards.
+type flight struct {
+	done chan struct{}
+	resp Response
+}
+
+type serviceJob struct {
+	ctx  context.Context
+	req  Request
+	resp chan Response
+}
+
+// NewService starts a query service over g.
+func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
+	if g == nil {
+		return nil, errors.New("exactsim: nil graph")
+	}
+	opts.normalize()
+	if !KnownAlgorithm(opts.DefaultAlgorithm) {
+		return nil, fmt.Errorf("exactsim: unknown default algorithm %q (have %v)",
+			opts.DefaultAlgorithm, Algorithms())
+	}
+	buildCtx, cancelBuild := context.WithCancel(context.Background())
+	s := &Service{
+		g:           g,
+		opts:        opts,
+		jobs:        make(chan *serviceJob, opts.QueueDepth),
+		buildCtx:    buildCtx,
+		cancelBuild: cancelBuild,
+		queriers:    make(map[querierKey]*querierSlot),
+		inflight:    make(map[cacheKey]*flight),
+		cache:       newResultCache(opts.CacheSize),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+
+// Query answers one request, blocking until a worker finishes it or ctx
+// ends. The per-request deadline (ctx, tightened by DefaultTimeout) is
+// live inside the algorithm's iteration loops, so a timeout interrupts
+// even a single long-running ExactSim query mid-computation.
+func (s *Service) Query(ctx context.Context, req Request) Response {
+	resp := s.query(ctx, req)
+	s.queries.Add(1)
+	if resp.CacheHit {
+		s.cacheHits.Add(1)
+	}
+	if resp.Err != nil {
+		s.errors.Add(1)
+	}
+	return resp
+}
+
+func (s *Service) query(ctx context.Context, req Request) Response {
+	// Reject before the cache lookup: a closed service answers nothing,
+	// not even cached results.
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		return Response{Request: req, Err: ErrServiceClosed}
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = s.opts.DefaultAlgorithm
+	}
+	if !KnownAlgorithm(req.Algorithm) {
+		return Response{Request: req, Err: fmt.Errorf(
+			"exactsim: unknown algorithm %q (have %v)", req.Algorithm, Algorithms())}
+	}
+	if req.Source < 0 || int(req.Source) >= s.g.N() {
+		return Response{Request: req, Err: fmt.Errorf(
+			"exactsim: source %d out of range [0,%d)", req.Source, s.g.N())}
+	}
+	// Epsilon is part of the querier and cache keys, so screen it here:
+	// a NaN key would never match itself and leak a querier slot per
+	// request (0 is the "service default" sentinel).
+	if math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) ||
+		req.Epsilon < 0 || req.Epsilon >= 1 {
+		return Response{Request: req, Err: fmt.Errorf(
+			"exactsim: epsilon %g outside (0,1) (0 = service default)", req.Epsilon)}
+	}
+
+	if req.NoCache {
+		return s.dispatch(ctx, req)
+	}
+
+	// Cacheable path: cache lookup, then request-level single-flight —
+	// concurrent queries for the same cold key elect one leader to
+	// compute; the rest wait on its flight (or their own context) instead
+	// of duplicating the work across the pool.
+	key := cacheKey{algorithm: req.Algorithm, source: req.Source, epsilon: req.Epsilon}
+	for {
+		if res, ok := s.cache.get(key); ok {
+			return s.respond(req, res, true)
+		}
+		s.flightMu.Lock()
+		if f, ok := s.inflight[key]; ok {
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.resp.Err == nil && f.resp.Result != nil {
+					// Served by the leader's computation: a hit as far as
+					// this request is concerned.
+					return s.respond(req, f.resp.Result, true)
+				}
+				// The leader failed (its deadline, a build error): its
+				// error is not ours — loop and retry, perhaps as leader.
+				continue
+			case <-ctx.Done():
+				return Response{Request: req, Err: ctx.Err()}
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
+		s.flightMu.Unlock()
+
+		resp := s.dispatch(ctx, req)
+
+		f.resp = resp
+		s.flightMu.Lock()
+		delete(s.inflight, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return resp
+	}
+}
+
+// dispatch queues one request on the worker pool and waits for its
+// response under ctx (tightened by DefaultTimeout).
+func (s *Service) dispatch(ctx context.Context, req Request) Response {
+	if s.opts.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultTimeout)
+		defer cancel()
+	}
+
+	job := &serviceJob{ctx: ctx, req: req, resp: make(chan Response, 1)}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return Response{Request: req, Err: ErrServiceClosed}
+	}
+	select {
+	case s.jobs <- job:
+		s.closeMu.RUnlock()
+	case <-ctx.Done():
+		s.closeMu.RUnlock()
+		return Response{Request: req, Err: ctx.Err()}
+	}
+
+	select {
+	case resp := <-job.resp:
+		return resp
+	case <-ctx.Done():
+		// The worker that picks the job up will see the dead context and
+		// drop it without computing.
+		return Response{Request: req, Err: ctx.Err()}
+	}
+}
+
+// Batch answers many requests concurrently through the worker pool and
+// returns responses in request order. Each response carries its own Err;
+// Batch itself only fails fast on a closed service. Submission is bounded
+// by Workers+QueueDepth in-flight goroutines — exactly what the pool can
+// hold — so a million-request batch does not allocate a million stacks
+// up front.
+func (s *Service) Batch(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	sem := make(chan struct{}, s.opts.Workers+s.opts.QueueDepth)
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = s.Query(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for job := range s.jobs {
+		if err := job.ctx.Err(); err != nil {
+			job.resp <- Response{Request: job.req, Err: err}
+			continue
+		}
+		job.resp <- s.execute(job.ctx, job.req)
+	}
+}
+
+func (s *Service) execute(ctx context.Context, req Request) Response {
+	q, err := s.querier(ctx, req.Algorithm, req.Epsilon)
+	if err != nil {
+		return Response{Request: req, Err: err}
+	}
+	res, err := q.SingleSource(ctx, req.Source)
+	if err != nil {
+		return Response{Request: req, Err: err}
+	}
+	if !req.NoCache {
+		s.cache.put(cacheKey{algorithm: req.Algorithm, source: req.Source,
+			epsilon: req.Epsilon}, res)
+	}
+	return s.respond(req, res, false)
+}
+
+func (s *Service) respond(req Request, res *QueryResult, hit bool) Response {
+	resp := Response{Request: req, Result: res, CacheHit: hit}
+	if req.K > 0 {
+		resp.TopK = TopKOf(res.Scores, req.K, req.Source)
+	}
+	return resp
+}
+
+// querier returns the shared querier for (algorithm, ε). The first
+// request for a key spawns a single-flight build under the service's
+// lifetime context — deliberately NOT the request's: a short per-request
+// deadline must not abort (and so force endless retries of) an index
+// build that later requests need. Waiters block on the build under their
+// own ctx, so a worker is released at its request's deadline even while
+// the build continues. A failed build removes the slot, so a later
+// request can retry it.
+func (s *Service) querier(ctx context.Context, algorithm string, epsilon float64) (Querier, error) {
+	key := querierKey{algorithm: algorithm, epsilon: epsilon}
+	s.querierMu.Lock()
+	slot, ok := s.queriers[key]
+	if !ok {
+		slot = &querierSlot{done: make(chan struct{})}
+		s.queriers[key] = slot
+		s.evictQueriersLocked()
+		go s.build(key, slot, algorithm, epsilon)
+	}
+	s.querierSeq++
+	slot.seq = s.querierSeq
+	s.querierMu.Unlock()
+
+	select {
+	case <-slot.done:
+		return slot.q, slot.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// build constructs one querier and publishes it on the slot. On failure
+// the slot is removed from the map so the next request retries.
+func (s *Service) build(key querierKey, slot *querierSlot, algorithm string, epsilon float64) {
+	opts := append([]QuerierOption(nil), s.opts.QuerierOptions...)
+	if epsilon != 0 {
+		opts = append(opts, WithEpsilon(epsilon))
+	}
+	q, err := NewQuerierCtx(s.buildCtx, algorithm, s.g, opts...)
+	if err != nil {
+		s.querierMu.Lock()
+		delete(s.queriers, key)
+		s.querierMu.Unlock()
+		slot.err = err
+	} else {
+		slot.q = q
+	}
+	close(slot.done)
+}
+
+// evictQueriersLocked drops least-recently-used completed queriers beyond
+// MaxQueriers. Callers must hold querierMu. In-flight queries (and
+// waiters, via their slot pointer) keep using an evicted querier safely —
+// the underlying structures are immutable — it just stops being shared.
+func (s *Service) evictQueriersLocked() {
+	for len(s.queriers) > s.opts.MaxQueriers {
+		var (
+			oldestKey querierKey
+			oldest    *querierSlot
+		)
+		for k, slot := range s.queriers {
+			select {
+			case <-slot.done:
+			default:
+				continue // never evict a build in flight
+			}
+			if oldest == nil || slot.seq < oldest.seq {
+				oldestKey, oldest = k, slot
+			}
+		}
+		if oldest == nil {
+			return // everything is mid-build; nothing evictable
+		}
+		delete(s.queriers, oldestKey)
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Queries:       s.queries.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		Errors:        s.errors.Load(),
+		CachedResults: s.cache.len(),
+	}
+}
+
+// Graph returns the graph the service answers over.
+func (s *Service) Graph() *Graph { return s.g }
+
+// Close stops the workers, aborts in-flight index builds and rejects
+// further queries. It blocks until in-flight queries finish; Close is
+// idempotent.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.closeMu.Unlock()
+	s.cancelBuild()
+	s.workers.Wait()
+}

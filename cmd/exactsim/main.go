@@ -18,7 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	exactsim "github.com/exactsim/exactsim"
@@ -39,8 +42,49 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 1, "parallel workers within one query")
 		timeout = flag.Duration("timeout", 0, "query deadline (0 = none), e.g. 30s")
+		// Profiling flags, so perf work on the walk/diag hot path has a
+		// stable real-query baseline (pair the output with `go tool pprof`).
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (post-query) to this file")
 	)
 	flag.Parse()
+
+	// Profile flushing must survive the fatal() exit path too (os.Exit
+	// skips defers): fatal calls flushProfiles before exiting, and the
+	// sync.Once keeps the normal-return defer from flushing twice.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		var once sync.Once
+		cpu, mem := *cpuProfile, *memProfile
+		flushProfiles = func() {
+			once.Do(func() {
+				if cpu != "" {
+					pprof.StopCPUProfile()
+				}
+				if mem != "" {
+					f, err := os.Create(mem)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "exactsim:", err)
+						return
+					}
+					defer f.Close()
+					runtime.GC() // settle allocations so the heap profile is stable
+					if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+						fmt.Fprintln(os.Stderr, "exactsim:", err)
+					}
+				}
+			})
+		}
+		defer flushProfiles()
+	}
 
 	if *method == "help" {
 		fmt.Println("registered algorithms:", strings.Join(exactsim.Algorithms(), ", "))
@@ -128,7 +172,12 @@ func loadGraph(path string, undirected bool, key string, scale float64) (*exacts
 	}
 }
 
+// flushProfiles finalizes any active -cpuprofile/-memprofile output; fatal
+// must run it because os.Exit skips deferred calls.
+var flushProfiles = func() {}
+
 func fatal(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "exactsim:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,98 @@
+package exactsim_test
+
+import (
+	"math"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// TestSeedDeterminismAcrossWorkerCounts is the conformance test for the
+// documented Options.Seed contract: two runs with equal seeds and options
+// return identical vectors regardless of Workers. The contract is
+// load-bearing for the whole compute spine — the diagonal phase shards fat
+// requests into per-chunk RNG streams and merges integer meet counts, and
+// the sparse kernels shard over nonzeros with worker-independent
+// boundaries; any scheduling leak in either shows up here as a bit flip.
+func TestSeedDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(1200, 4, 7)
+	// Node 0 is a BA hub: its R(k) dominates and splits into many chunks,
+	// exactly the regime the chunked sampling exists for. 1111 is a leaf.
+	sources := []exactsim.NodeID{0, 1111}
+	for _, optimized := range []bool{false, true} {
+		name := "basic"
+		if optimized {
+			name = "optimized"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, source := range sources {
+				var want []float64
+				for _, workers := range []int{1, 8} {
+					// SampleFactor only scales the walk-pair volume; the
+					// determinism property is sample-count independent, so
+					// keep the test fast enough for -race CI.
+					eng, err := exactsim.New(g, exactsim.Options{
+						Epsilon:      1e-2,
+						Optimized:    optimized,
+						Workers:      workers,
+						Seed:         99,
+						SampleFactor: 0.05,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := eng.SingleSource(source)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want == nil {
+						want = res.Scores
+						continue
+					}
+					for j := range want {
+						if math.Float64bits(want[j]) != math.Float64bits(res.Scores[j]) {
+							t.Fatalf("source %d workers=%d: Scores[%d] = %x, want %x (Workers=1)",
+								source, workers, j,
+								math.Float64bits(res.Scores[j]), math.Float64bits(want[j]))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeedDeterminismRepeatedQueries pins the other half of the contract:
+// the same engine answering the same query twice — with pooled scratch
+// reused in between — must return the identical vector (a dirty pooled
+// buffer or stale frontier would corrupt the second answer).
+func TestSeedDeterminismRepeatedQueries(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(1500, 4, 11)
+	for _, optimized := range []bool{false, true} {
+		eng, err := exactsim.New(g, exactsim.Options{
+			Epsilon: 1e-2, Optimized: optimized, Seed: 5, SampleFactor: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave a different source so the pooled buffers come back
+		// dirty with another query's support before the repeat.
+		first, err := eng.SingleSource(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.SingleSource(700); err != nil {
+			t.Fatal(err)
+		}
+		second, err := eng.SingleSource(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first.Scores {
+			if math.Float64bits(first.Scores[j]) != math.Float64bits(second.Scores[j]) {
+				t.Fatalf("optimized=%v: repeat query diverged at %d: %g vs %g",
+					optimized, j, first.Scores[j], second.Scores[j])
+			}
+		}
+	}
+}

@@ -21,8 +21,12 @@ type conformanceCase struct {
 
 func conformanceCases() map[string]conformanceCase {
 	return map[string]conformanceCase{
-		"exactsim":       {[]Option{WithEpsilon(1e-3), WithSeed(1)}, 1e-3},
-		"exactsim-basic": {[]Option{WithEpsilon(1e-3), WithSeed(2)}, 1e-3},
+		"exactsim": {[]Option{WithEpsilon(1e-3), WithSeed(1)}, 1e-3},
+		// The basic ablation caps R(k) at 1<<16 *without* Algorithm-3 depth
+		// compensation (that is the ablation), so D(source) carries
+		// σ ≈ 1/(2√R) ≈ 2e-3 of irreducible noise at any ε — a 1e-3
+		// tolerance here would hold or fail by luck of the seed. 5σ bound.
+		"exactsim-basic": {[]Option{WithEpsilon(1e-3), WithSeed(2)}, 1e-2},
 		"powermethod":    {nil, 1e-8},
 		"parsim":         {[]Option{WithIterations(100)}, 0.1},
 		"mc":             {[]Option{WithWalks(20, 3000), WithSeed(3)}, 0.1},

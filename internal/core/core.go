@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/exactsim/exactsim/internal/diag"
@@ -150,12 +151,31 @@ type Result struct {
 }
 
 // Engine answers single-source and top-k SimRank queries over one graph.
-// Construct with New; an Engine is safe for sequential reuse across
-// queries (per-query state is local).
+// Construct with New; an Engine is safe for concurrent use (per-query
+// state comes from internally synchronized pools).
 type Engine struct {
 	g   *graph.Graph
 	op  *linalg.Operator
 	opt Options
+
+	// dPool recycles the diagonal phase's per-worker estimators (each owns
+	// O(n) scratch) across queries.
+	dPool *diag.EstimatorPool
+	// scratch recycles the dense per-query work vectors; under a sustained
+	// Service load the only per-query dense allocation left is the
+	// returned Scores vector itself.
+	scratch sync.Pool
+}
+
+// queryScratch is one query's reusable dense state. Invariants while
+// pooled: dHat is all-zero; tmpF tracks exactly the possibly-nonzero
+// support of tmp (dense meaning "anything"); sF is empty.
+type queryScratch struct {
+	tmp  []float64
+	dHat []float64
+	pi   []float64 // basic mode only, no cleanliness invariant
+	tmpF *linalg.Frontier
+	sF   *linalg.Frontier
 }
 
 // New validates options and builds an engine for g.
@@ -166,7 +186,37 @@ func New(g *graph.Graph, opt Options) (*Engine, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
-	return &Engine{g: g, op: linalg.NewOperator(g, opt.Workers), opt: opt}, nil
+	e := &Engine{g: g, op: linalg.NewOperator(g, opt.Workers), opt: opt}
+	e.dPool = diag.NewEstimatorPool(g, e.opt.C)
+	return e, nil
+}
+
+// getScratch returns pooled (or fresh) per-query dense state.
+func (e *Engine) getScratch() *queryScratch {
+	if sc, ok := e.scratch.Get().(*queryScratch); ok {
+		return sc
+	}
+	n := e.g.N()
+	return &queryScratch{
+		tmp:  make([]float64, n),
+		dHat: make([]float64, n),
+		tmpF: linalg.NewFrontier(n),
+		sF:   linalg.NewFrontier(n),
+	}
+}
+
+// putScratch recycles sc. clean reports that the caller restored the
+// invariants (zeroed dHat via its known support, synced the frontiers); an
+// unclean return — an error path that bailed mid-computation — falls back
+// to a full restore here.
+func (e *Engine) putScratch(sc *queryScratch, clean bool) {
+	if !clean {
+		clear(sc.dHat)
+		sc.sF.Reset()
+		sc.tmpF.Reset()
+		sc.tmpF.MarkDense()
+	}
+	e.scratch.Put(sc)
 }
 
 // Options returns the engine's normalized options.
@@ -231,12 +281,20 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 	L := ppr.Levels(c, eps)
 	res := &Result{L: L}
 
+	sc := e.getScratch()
+	clean := false
+	defer func() { e.putScratch(sc, clean) }()
+	if sc.pi == nil {
+		sc.pi = make([]float64, n)
+	}
+
 	t0 := time.Now()
 	hops, err := ppr.HopsDenseCtx(ctx, e.op, source, ppr.Config{C: c, L: L})
 	if err != nil {
 		return nil, err
 	}
-	pi := make([]float64, n)
+	pi := sc.pi
+	clear(pi)
 	for _, h := range hops {
 		for k, v := range h {
 			pi[k] += v
@@ -261,21 +319,24 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 	}
 	dvals, err := diag.BatchCtx(ctx, e.g, reqs, diag.Options{
 		C: c, Improved: false, Workers: e.opt.Workers, Seed: e.opt.Seed,
+		Pool: e.dPool,
 	})
 	if err != nil {
 		return nil, err
 	}
-	dHat := make([]float64, n)
+	dHat := sc.dHat
 	for i, req := range reqs {
 		dHat[req.Node] = dvals[i]
 	}
 	res.DNodes = len(reqs)
 	res.DiagTime = time.Since(t0)
 
-	// Backward accumulation (Algorithm 1 lines 9-13).
+	// Backward accumulation (Algorithm 1 lines 9-13). The basic engine's
+	// products are dense, so every tmp entry is overwritten before it is
+	// read and the pooled array needs no clearing.
 	t0 = time.Now()
 	s := make([]float64, n)
-	tmp := make([]float64, n)
+	tmp := sc.tmp
 	invOneMinusSqrtC := 1 / (1 - sqrtC)
 	for j := L; j >= 0; j-- {
 		if err := ctx.Err(); err != nil {
@@ -298,6 +359,17 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 	// hop vectors (n·(L+1) floats) dominate; plus π, D̂, s, tmp.
 	res.ExtraBytes = int64(n) * int64(L+1) * 8 // hops
 	res.ExtraBytes += 4 * int64(n) * 8         // pi, dHat, s, tmp
+	// Restore the pool invariants: dHat zeroed through its known support,
+	// tmp (whichever array ended up not being returned) marked unknown —
+	// a dense query dirties it wholesale, and basic engines never read it
+	// before a dense overwrite anyway.
+	for _, req := range reqs {
+		dHat[req.Node] = 0
+	}
+	sc.tmp = tmp
+	sc.tmpF.Reset()
+	sc.tmpF.MarkDense()
+	clean = true
 	return res, nil
 }
 
@@ -311,6 +383,10 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 	L := ppr.Levels(c, epsPrime)
 	threshold := (1 - sqrtC) * (1 - sqrtC) * epsPrime
 	res := &Result{L: L}
+
+	sc := e.getScratch()
+	clean := false
+	defer func() { e.putScratch(sc, clean) }()
 
 	t0 := time.Now()
 	hops, err := ppr.HopsCtx(ctx, e.op, source, ppr.Config{C: c, L: L, Threshold: threshold})
@@ -353,39 +429,58 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 	}
 	dvals, err := diag.BatchCtx(ctx, e.g, reqs, diag.Options{
 		C: c, Improved: !e.opt.NoLocalExploit, Workers: e.opt.Workers, Seed: e.opt.Seed,
+		Pool: e.dPool,
 	})
 	if err != nil {
 		return nil, err
 	}
-	dHat := make([]float64, n)
+	dHat := sc.dHat
 	for i, req := range reqs {
 		dHat[req.Node] = dvals[i]
 	}
 	res.DNodes = len(reqs)
 	res.DiagTime = time.Since(t0)
 
-	// Backward accumulation over sparse hop vectors.
+	// Backward accumulation over sparse hop vectors. s's support spreads
+	// from the source's backward reach, so the Pᵀ products run
+	// frontier-aware: early levels scatter over the few reached nodes
+	// instead of gathering over all n rows, and the frontiers also track
+	// which stale entries of the pooled tmp need zeroing.
 	t0 = time.Now()
 	s := make([]float64, n)
-	tmp := make([]float64, n)
+	tmp := sc.tmp
+	sF, tmpF := sc.sF, sc.tmpF
 	invOneMinusSqrtC := 1 / (1 - sqrtC)
 	for j := L; j >= 0; j-- {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if j < L {
-			e.op.ApplyPT(tmp, s, sqrtC)
+			e.op.ApplyPTFrontier(tmp, s, sqrtC, sF, tmpF)
 			s, tmp = tmp, s
+			sF, tmpF = tmpF, sF
 		}
 		hj := &hops[j]
 		for i, k := range hj.Idx {
 			s[k] += invOneMinusSqrtC * dHat[k] * hj.Val[i]
+			sF.Add(k)
 		}
 	}
 	res.BackwardTime = time.Since(t0)
 	res.Scores = s
 	res.ExtraBytes = ppr.TotalBytes(hops) + piVec.Bytes()
 	res.ExtraBytes += 3 * int64(n) * 8 // dHat, s, tmp
+	// Restore the pool invariants: zero dHat through its known support,
+	// keep tmp's frontier (it tracks the pooled array's stale entries for
+	// the next query), and hand back an empty frontier for the next s —
+	// sF tracks the *returned* Scores vector, which the caller owns now.
+	for _, req := range reqs {
+		dHat[req.Node] = 0
+	}
+	sc.tmp, sc.tmpF = tmp, tmpF
+	sF.Reset()
+	sc.sF = sF
+	clean = true
 	return res, nil
 }
 

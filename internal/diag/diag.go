@@ -13,6 +13,15 @@
 // an exact oracle for small graphs (ExactByIteration, pair-state value
 // iteration), and a deterministic parallel Batch driver used by ExactSim
 // and the Linearization baseline.
+//
+// Batch shards *within* fat requests, not just across requests: the source
+// node's sample allowance R(k) is orders of magnitude above the median
+// (π²-sampling concentrates almost everything on the source), so
+// whole-request scheduling would leave one worker grinding the source while
+// the rest idle. Requests are cut into fixed-size sample chunks; each chunk
+// runs on its own RNG stream derived from (Seed, request, chunk), and chunk
+// results are integer meet-counts, so the merge is exact and the output is
+// bit-identical at any worker count.
 package diag
 
 import (
@@ -31,6 +40,23 @@ import (
 // target we support, so deeper exploration would only burn budget.
 const maxDeterministicLevels = 64
 
+// chunkSamples is the walk-pair count of one Batch scheduling unit — small
+// enough that the fattest request (R(k) capped at 1<<16 by default) splits
+// across every worker, large enough that per-chunk reseed/bookkeeping
+// amortizes to noise (a chunk is ≈ 1 ms of walking). It must stay fixed:
+// chunk boundaries are part of the seed→result contract.
+const chunkSamples = 8192
+
+// cPowTable returns [1, c, c², …] up to the deterministic depth cap.
+func cPowTable(c float64) [maxDeterministicLevels + 1]float64 {
+	var t [maxDeterministicLevels + 1]float64
+	t[0] = 1
+	for i := 1; i < len(t); i++ {
+		t[i] = t[i-1] * c
+	}
+	return t
+}
+
 // Estimator estimates D(k,k) entries for one graph. It owns reusable
 // scratch, so one Estimator per worker amortizes allocations across the
 // (typically many) nodes whose D entries a query needs. Not safe for
@@ -41,6 +67,20 @@ type Estimator struct {
 	w    *walk.Walker
 	acc  *sparse.Accumulator // level extension scratch
 	zacc *sparse.Accumulator // Z-recursion scratch
+
+	// cPow[ℓ] = c^ℓ, hoisted out of the Lemma-4 recursion's inner loops
+	// (math.Pow per (ℓ,ℓ') pair showed up in profiles).
+	cPow [maxDeterministicLevels + 1]float64
+
+	// srcSlot/srcStates index the non-stop walk distributions of the
+	// sources discovered during explore, keyed by first-touch order: a
+	// slice walk instead of the map the profile showed thrashing on. After
+	// each explore the touched slots reset to -1; srcStates keeps its
+	// capacity across nodes.
+	srcSlot   []int32
+	srcStates []sourceState
+	zByLevel  []sparse.Vector // per-explore Z_ℓ scratch, reused
+
 	// stop, when non-nil, is polled inside the sample and exploration
 	// loops (every stopCheckMask+1 samples); once set, estimates are
 	// abandoned mid-node. Only BatchCtx sets it, and it discards the
@@ -60,12 +100,18 @@ func (e *Estimator) stopped() bool { return e.stop != nil && e.stop.Load() }
 
 // NewEstimator returns an estimator with decay c and a deterministic seed.
 func NewEstimator(g *graph.Graph, c float64, seed uint64) *Estimator {
+	slots := make([]int32, g.N())
+	for i := range slots {
+		slots[i] = -1
+	}
 	return &Estimator{
-		g:    g,
-		c:    c,
-		w:    walk.NewWalker(g, c, seed),
-		acc:  sparse.NewAccumulator(g.N()),
-		zacc: sparse.NewAccumulator(g.N()),
+		g:       g,
+		c:       c,
+		w:       walk.NewWalker(g, c, seed),
+		acc:     sparse.NewAccumulator(g.N()),
+		zacc:    sparse.NewAccumulator(g.N()),
+		cPow:    cPowTable(c),
+		srcSlot: slots,
 	}
 }
 
@@ -74,6 +120,40 @@ func NewEstimator(g *graph.Graph, c float64, seed uint64) *Estimator {
 // Batch uses to stay reproducible under parallel scheduling.
 func (e *Estimator) Reseed(seed uint64) { e.w.RNG().Reseed(seed) }
 
+// pairMeets runs `count` Algorithm-2 trials at k and returns how many met.
+func (e *Estimator) pairMeets(k graph.NodeID, count int) int64 {
+	var met int64
+	for s := 0; s < count; s++ {
+		if s&stopCheckMask == 0 && e.stopped() {
+			break
+		}
+		if !e.w.PairNoMeet(k) {
+			met++
+		}
+	}
+	return met
+}
+
+// tailMeets runs `count` hybrid walk-pair trials of Algorithm 3 — lk forced
+// non-stop steps, then ordinary √c-walks — and returns how many met. With
+// lk == 0 this is exactly pairMeets.
+func (e *Estimator) tailMeets(k graph.NodeID, lk, count int) int64 {
+	var met int64
+	for s := 0; s < count; s++ {
+		if s&stopCheckMask == 0 && e.stopped() {
+			break
+		}
+		x, y, ok := e.w.NonStopPrefixPair(k, lk)
+		if !ok {
+			continue // dead end or met during prefix: zero contribution
+		}
+		if e.w.PairMeetsFrom(x, y) {
+			met++
+		}
+	}
+	return met
+}
+
 // Basic is paper Algorithm 2: simulate `samples` independent pairs of
 // √c-walks from k and return the fraction that do NOT meet. Unbiased with
 // variance D(k,k)(1−D(k,k))/samples.
@@ -81,16 +161,8 @@ func (e *Estimator) Basic(k graph.NodeID, samples int) float64 {
 	if samples <= 0 {
 		samples = 1
 	}
-	noMeet := 0
-	for s := 0; s < samples; s++ {
-		if s&stopCheckMask == 0 && e.stopped() {
-			break
-		}
-		if e.w.PairNoMeet(k) {
-			noMeet++
-		}
-	}
-	return float64(noMeet) / float64(samples)
+	met := e.pairMeets(k, samples)
+	return float64(int64(samples)-met) / float64(samples)
 }
 
 // ImprovedParams tunes Algorithm 3 beyond the paper's defaults.
@@ -105,6 +177,34 @@ type ImprovedParams struct {
 	// EdgeBudget caps deterministic-exploration work. Zero selects the
 	// paper's 2·Samples/√c (the expected edge cost of plain sampling).
 	EdgeBudget int64
+}
+
+// normalize fills the paper's defaults in place (shared by the single-node
+// path and Batch's planning phase so both run identical parameters).
+func (p *ImprovedParams) normalize(c float64) {
+	if p.Samples <= 0 {
+		p.Samples = 1
+	}
+	if p.EdgeBudget <= 0 {
+		p.EdgeBudget = int64(2 * float64(p.Samples) / math.Sqrt(c))
+	}
+	if p.TargetDepth <= 0 || p.TargetDepth > maxDeterministicLevels {
+		p.TargetDepth = maxDeterministicLevels
+	}
+}
+
+// finishImproved assembles the Algorithm-3 estimate from the deterministic
+// prefix (lk, zSum) and the tail meet count, clamping to the feasible
+// interval [1−c, 1] (stochastic noise can stray slightly).
+func finishImproved(c float64, cl float64, zSum float64, meets int64, samples int) float64 {
+	dHat := 1 - zSum - cl*float64(meets)/float64(samples)
+	if dHat < 1-c {
+		dHat = 1 - c
+	}
+	if dHat > 1 {
+		dHat = 1
+	}
+	return dHat
 }
 
 // Improved is paper Algorithm 3. Under the edge budget (default 2·R(k)/√c,
@@ -125,50 +225,54 @@ func (e *Estimator) ImprovedWith(k graph.NodeID, p ImprovedParams) float64 {
 	case 1:
 		return 1 - e.c
 	}
-	samples := p.Samples
-	if samples <= 0 {
-		samples = 1
-	}
-	budget := p.EdgeBudget
-	if budget <= 0 {
-		budget = int64(2 * float64(samples) / math.Sqrt(e.c))
-	}
-	maxDepth := p.TargetDepth
-	if maxDepth <= 0 || maxDepth > maxDeterministicLevels {
-		maxDepth = maxDeterministicLevels
-	}
-	lk, zSum := e.explore(k, budget, maxDepth)
-
-	dHat := 1 - zSum
-	cl := math.Pow(e.c, float64(lk))
-	inv := cl / float64(samples)
-	for s := 0; s < samples; s++ {
-		if s&stopCheckMask == 0 && e.stopped() {
-			break
-		}
-		// With lk == 0 the prefix is empty and this is exactly Algorithm 2.
-		x, y, ok := e.w.NonStopPrefixPair(k, lk)
-		if !ok {
-			continue // dead end or met during prefix: zero contribution
-		}
-		if e.w.PairMeetsFrom(x, y) {
-			dHat -= inv
-		}
-	}
-	// Clamp to the feasible interval; stochastic noise can stray slightly.
-	if dHat < 1-e.c {
-		dHat = 1 - e.c
-	}
-	if dHat > 1 {
-		dHat = 1
-	}
-	return dHat
+	p.normalize(e.c)
+	lk, zSum := e.explore(k, p.EdgeBudget, p.TargetDepth)
+	meets := e.tailMeets(k, lk, p.Samples)
+	return finishImproved(e.c, e.cPow[lk], zSum, meets, p.Samples)
 }
 
 // sourceState tracks the non-stop walk distributions (Pᵀ)^a(q,·) of one
 // source q for a = 0..len(levels)-1.
 type sourceState struct {
+	node   graph.NodeID
 	levels []sparse.Vector
+}
+
+// slot returns the srcStates index of source q, creating (and seeding with
+// the level-0 unit vector) on first touch. Callers must not hold
+// *sourceState pointers across slot calls — the backing array may grow.
+func (e *Estimator) slot(q graph.NodeID) int32 {
+	if s := e.srcSlot[q]; s >= 0 {
+		return s
+	}
+	s := int32(len(e.srcStates))
+	e.srcSlot[q] = s
+	if len(e.srcStates) < cap(e.srcStates) {
+		// Reuse the retired element's level vectors from a prior explore —
+		// in steady state an explore allocates nothing here.
+		e.srcStates = e.srcStates[:s+1]
+		st := &e.srcStates[s]
+		st.node = q
+		if cap(st.levels) > 0 {
+			st.levels = st.levels[:1]
+			st.levels[0].Idx = append(st.levels[0].Idx[:0], q)
+			st.levels[0].Val = append(st.levels[0].Val[:0], 1)
+			return s
+		}
+	}
+	e.srcStates = append(e.srcStates[:s], sourceState{
+		node:   q,
+		levels: []sparse.Vector{{Idx: []int32{q}, Val: []float64{1}}},
+	})
+	return s
+}
+
+// resetSources retires every source discovered by the last explore.
+func (e *Estimator) resetSources() {
+	for i := range e.srcStates {
+		e.srcSlot[e.srcStates[i].node] = -1
+	}
+	e.srcStates = e.srcStates[:0]
 }
 
 // exploreDeterministic runs Algorithm 3's deterministic phase with the
@@ -179,7 +283,9 @@ func (e *Estimator) exploreDeterministic(k graph.NodeID, budget int64) (int, flo
 
 // explore runs Algorithm 3's deterministic phase for node k and returns
 // the reached level ℓ(k) and Σ_{ℓ=1}^{ℓ(k)} Z_ℓ(k). It stops at maxDepth
-// even if budget remains.
+// even if budget remains. It uses no randomness, so its result is a pure
+// function of (graph, k, budget, maxDepth) — Batch relies on that to
+// parallelize exploration without threatening reproducibility.
 //
 // Invariant kept per outer level ℓ: before computing Z_ℓ, every node q'
 // discovered at depth d (that is, (Pᵀ)^d(k,q') > 0 for some 1 ≤ d < ℓ) has
@@ -187,35 +293,47 @@ func (e *Estimator) exploreDeterministic(k graph.NodeID, budget int64) (int, flo
 // level ℓ reads exactly levels ℓ' = ℓ−d of those sources.
 func (e *Estimator) explore(k graph.NodeID, budget int64, maxDepth int) (int, float64) {
 	g := e.g
+	inOff, inAdj := g.InCSR()
 	var edges int64
+	defer e.resetSources()
 
-	// extend computes one more level for st. It returns false as soon as
-	// the edge budget trips; the partially accumulated level is discarded
-	// by the callers (they abort the whole exploration).
-	extend := func(st *sourceState) bool {
+	// extend computes one more level for the source in slot si. It returns
+	// false as soon as the edge budget trips; the partially accumulated
+	// level is discarded by the callers (they abort the whole exploration).
+	extend := func(si int32) bool {
+		st := &e.srcStates[si]
 		last := &st.levels[len(st.levels)-1]
 		for i, x := range last.Idx {
-			din := g.InDegree(x)
-			if din == 0 {
+			lo, hi := inOff[x], inOff[x+1]
+			if lo == hi {
 				continue
 			}
-			share := last.Val[i] / float64(din)
-			for _, q := range g.InNeighbors(x) {
+			share := last.Val[i] / float64(hi-lo)
+			for _, q := range inAdj[lo:hi] {
 				e.acc.Add(q, share)
 			}
-			edges += int64(din)
+			edges += hi - lo
 			if edges >= budget {
 				e.acc.Reset()
 				return false
 			}
 		}
-		st.levels = append(st.levels, e.acc.Build(0))
+		// Build unsorted (first-touch order — deterministic, and nothing
+		// binary-searches these vectors), into the retired vector beyond
+		// len when one exists so steady state allocates nothing.
+		nl := len(st.levels)
+		if nl < cap(st.levels) {
+			st.levels = st.levels[:nl+1]
+		} else {
+			st.levels = append(st.levels, sparse.Vector{})
+		}
+		e.acc.BuildIntoUnsorted(&st.levels[nl], 0)
 		return true
 	}
 
-	stK := &sourceState{levels: []sparse.Vector{{Idx: []int32{k}, Val: []float64{1}}}}
-	sources := map[int32]*sourceState{k: stK}
-	zByLevel := []sparse.Vector{{}} // level 0 unused
+	kSlot := e.slot(k)
+	zByLevel := append(e.zByLevel[:0], sparse.Vector{}) // level 0 unused
+	defer func() { e.zByLevel = zByLevel[:0] }()
 	zSum := 0.0
 
 	for ell := 1; ell <= maxDepth; ell++ {
@@ -223,26 +341,22 @@ func (e *Estimator) explore(k graph.NodeID, budget int64, maxDepth int) (int, fl
 			return ell - 1, zSum
 		}
 		// Grow the from-k distribution to level ell.
-		if len(stK.levels) <= ell {
-			if !extend(stK) {
+		if len(e.srcStates[kSlot].levels) <= ell {
+			if !extend(kSlot) {
 				return ell - 1, zSum
 			}
 		}
-		if stK.levels[ell].Len() == 0 {
+		if e.srcStates[kSlot].levels[ell].Len() == 0 {
 			// walk from k dies out entirely (dead ends): Z is complete
 			return ell - 1, zSum
 		}
 		// Ensure discovered sources have the levels the subtraction needs.
 		for d := 1; d < ell; d++ {
-			fk := &stK.levels[d]
-			for _, q := range fk.Idx {
-				st := sources[q]
-				if st == nil {
-					st = &sourceState{levels: []sparse.Vector{{Idx: []int32{q}, Val: []float64{1}}}}
-					sources[q] = st
-				}
-				for len(st.levels) <= ell-d {
-					if !extend(st) {
+			for i := 0; i < e.srcStates[kSlot].levels[d].Len(); i++ {
+				q := e.srcStates[kSlot].levels[d].Idx[i]
+				si := e.slot(q)
+				for len(e.srcStates[si].levels) <= ell-d {
+					if !extend(si) {
 						return ell - 1, zSum
 					}
 				}
@@ -250,34 +364,40 @@ func (e *Estimator) explore(k graph.NodeID, budget int64, maxDepth int) (int, fl
 		}
 
 		// Z_ℓ(k,q) = c^ℓ (Pᵀ)^ℓ(k,q)² − Σ_{ℓ'=1}^{ℓ−1} Σ_{q'} c^{ℓ'} (Pᵀ)^{ℓ'}(q',q)² Z_{ℓ−ℓ'}(k,q').
-		cl := math.Pow(e.c, float64(ell))
-		for i, q := range stK.levels[ell].Idx {
-			p := stK.levels[ell].Val[i]
+		cl := e.cPow[ell]
+		kLevel := &e.srcStates[kSlot].levels[ell]
+		for i, q := range kLevel.Idx {
+			p := kLevel.Val[i]
 			e.zacc.Add(q, cl*p*p)
 		}
 		for lp := 1; lp < ell; lp++ {
 			zPrev := &zByLevel[ell-lp]
-			clp := math.Pow(e.c, float64(lp))
+			clp := e.cPow[lp]
 			for i, qp := range zPrev.Idx {
 				zval := zPrev.Val[i]
 				if zval == 0 {
 					continue
 				}
-				st := sources[qp]
-				lv := &st.levels[lp]
+				lv := &e.srcStates[e.srcSlot[qp]].levels[lp]
 				for j, q := range lv.Idx {
 					p := lv.Val[j]
 					e.zacc.Add(q, -clp*p*p*zval)
 				}
 			}
 		}
-		zell := e.zacc.Build(math.Inf(-1))
+		nz := len(zByLevel)
+		if nz < cap(zByLevel) {
+			zByLevel = zByLevel[:nz+1]
+		} else {
+			zByLevel = append(zByLevel, sparse.Vector{})
+		}
+		zell := &zByLevel[nz]
+		e.zacc.BuildIntoUnsorted(zell, math.Inf(-1))
 		for i, v := range zell.Val {
 			if v < 0 { // numerical noise; Z is a probability mass
 				zell.Val[i] = 0
 			}
 		}
-		zByLevel = append(zByLevel, zell)
 		zSum += zell.Sum()
 		if edges >= budget {
 			return ell, zSum
@@ -302,23 +422,83 @@ type Options struct {
 	Improved bool    // Algorithm 3 instead of Algorithm 2
 	Workers  int     // parallel workers (≤1 serial)
 	Seed     uint64  // base seed
+	// Pool, when non-nil, supplies the per-worker Estimators (and takes
+	// them back) instead of constructing them per call. An Estimator owns
+	// O(n) scratch, so a query service calling Batch per request wants
+	// this. The pool's graph and decay must match; a mismatch falls back
+	// to fresh construction.
+	Pool *EstimatorPool
 }
 
-// Batch estimates D(k,k) for every request. Each request runs on its own
-// RNG stream derived from (Seed, request index), so results are
-// bit-for-bit reproducible regardless of worker count or scheduling — the
-// property the paper's parallelization paragraph demands of a ground-truth
-// tool.
+// EstimatorPool recycles Estimators — and their O(n) accumulator and
+// source-index scratch — across Batch calls. Safe for concurrent use.
+type EstimatorPool struct {
+	g    *graph.Graph
+	c    float64
+	pool sync.Pool
+}
+
+// NewEstimatorPool returns a pool producing estimators over g with decay c.
+func NewEstimatorPool(g *graph.Graph, c float64) *EstimatorPool {
+	return &EstimatorPool{g: g, c: c}
+}
+
+// get returns a pooled (or fresh) estimator; seed only matters until the
+// first Reseed, and Batch reseeds per chunk.
+func (p *EstimatorPool) get(seed uint64) *Estimator {
+	if e, ok := p.pool.Get().(*Estimator); ok {
+		return e
+	}
+	return NewEstimator(p.g, p.c, seed)
+}
+
+// put takes an estimator back; its cancellation flag is detached first.
+func (p *EstimatorPool) put(e *Estimator) {
+	e.SetStop(nil)
+	p.pool.Put(e)
+}
+
+// chunkSeed derives the RNG stream of one (request, chunk) cell. The two
+// odd multipliers decorrelate the lattice before rng.New's splitmix
+// finalizer; what matters for reproducibility is only that the value is a
+// pure function of (seed, request index, chunk index).
+func chunkSeed(seed uint64, req, chunk int) uint64 {
+	return seed ^ (0x9e3779b97f4a7c15 * uint64(req+1)) ^ (0xbf58476d1ce4e5b9 * uint64(chunk+1))
+}
+
+// reqPlan is Batch's per-request state between phases.
+type reqPlan struct {
+	samples int
+	lk      int     // Algorithm-3 prefix depth
+	zSum    float64 // deterministic first-meeting mass
+	direct  bool    // out[i] already final (trivial in-degree cases)
+}
+
+// Batch estimates D(k,k) for every request. Each sample chunk runs on its
+// own RNG stream derived from (Seed, request index, chunk index), so
+// results are bit-for-bit reproducible regardless of worker count or
+// scheduling — the property the paper's parallelization paragraph demands
+// of a ground-truth tool.
 func Batch(g *graph.Graph, reqs []Request, opt Options) []float64 {
 	out, _ := BatchCtx(context.Background(), g, reqs, opt)
 	return out
 }
 
 // BatchCtx is Batch under a context: cancellation is observed between
-// requests and — via the estimators' stop flag — inside the per-node sample
-// and exploration loops, so even a single astronomically-sampled node
-// cannot outlive its deadline by more than a few thousand walk pairs.
-// On cancellation the partial output is discarded and ctx.Err() returned.
+// scheduling units and — via the estimators' stop flag — inside the
+// per-chunk sample and exploration loops, so even a single
+// astronomically-sampled node cannot outlive its deadline by more than a
+// few thousand walk pairs. On cancellation the partial output is discarded
+// and ctx.Err() returned.
+//
+// The run has three phases. Phase 1 parallelizes over requests: trivial
+// in-degree answers and (Improved mode) the deterministic exploration,
+// which uses no randomness. Phase 2 parallelizes over fixed-size sample
+// chunks — the fat-request remedy: the source node's R(k) dwarfs the
+// median allowance, and whole-request scheduling would serialize the whole
+// phase behind it. Phase 3 merges integer meet counts per request
+// (addition of int64s — exact, order-free) and applies the estimator
+// formula once per node.
 func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) ([]float64, error) {
 	workers := opt.Workers
 	if workers < 1 {
@@ -336,43 +516,140 @@ func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) 
 			}
 		}()
 	}
-	out := make([]float64, len(reqs))
-	var next int64
-	run := func(e *Estimator) {
-		e.SetStop(&stop)
-		for !stop.Load() {
-			i := int(atomic.AddInt64(&next, 1) - 1)
-			if i >= len(reqs) {
-				return
+
+	pool := opt.Pool
+	if pool != nil && (pool.g != g || pool.c != opt.C) {
+		pool = nil
+	}
+	ests := make([]*Estimator, workers)
+	for i := range ests {
+		if pool != nil {
+			ests[i] = pool.get(opt.Seed + uint64(i))
+		} else {
+			ests[i] = NewEstimator(g, opt.C, opt.Seed+uint64(i))
+		}
+		ests[i].SetStop(&stop)
+	}
+	if pool != nil {
+		defer func() {
+			for _, e := range ests {
+				pool.put(e)
 			}
-			req := reqs[i]
-			e.Reseed(opt.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
-			if opt.Improved {
-				out[i] = e.ImprovedWith(req.Node, ImprovedParams{
-					Samples:     req.Samples,
-					TargetDepth: req.TargetDepth,
-					EdgeBudget:  req.EdgeBudget,
-				})
-			} else {
-				out[i] = e.Basic(req.Node, req.Samples)
+		}()
+	}
+	// runParallel drains unit indices [0, count) across the worker pool.
+	runParallel := func(count int, unit func(e *Estimator, i int)) {
+		var next int64
+		work := func(e *Estimator) {
+			for !stop.Load() {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= count {
+					return
+				}
+				unit(e, i)
 			}
 		}
-	}
-	if workers == 1 {
-		run(NewEstimator(g, opt.C, opt.Seed))
-	} else {
+		if workers == 1 || count <= 1 {
+			work(ests[0])
+			return
+		}
 		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
+		for _, e := range ests {
 			wg.Add(1)
-			go func(id int) {
+			go func(e *Estimator) {
 				defer wg.Done()
-				run(NewEstimator(g, opt.C, opt.Seed+uint64(id)))
-			}(w)
+				work(e)
+			}(e)
 		}
 		wg.Wait()
 	}
+
+	out := make([]float64, len(reqs))
+	plans := make([]reqPlan, len(reqs))
+
+	// Phase 1: per-request deterministic work (no RNG involved).
+	runParallel(len(reqs), func(e *Estimator, i int) {
+		req := reqs[i]
+		p := &plans[i]
+		p.samples = req.Samples
+		if p.samples <= 0 {
+			p.samples = 1
+		}
+		if !opt.Improved {
+			return
+		}
+		switch g.InDegree(req.Node) {
+		case 0:
+			out[i], p.direct = 1, true
+		case 1:
+			out[i], p.direct = 1-opt.C, true
+		default:
+			ip := ImprovedParams{
+				Samples:     p.samples,
+				TargetDepth: req.TargetDepth,
+				EdgeBudget:  req.EdgeBudget,
+			}
+			ip.normalize(opt.C)
+			p.lk, p.zSum = e.explore(req.Node, ip.EdgeBudget, ip.TargetDepth)
+		}
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+
+	// Phase 2: sample chunks. Boundaries are a pure function of the
+	// requests (chunkSamples is a constant), never of the worker count.
+	type chunkRef struct {
+		req     int32
+		chunk   int32
+		samples int32
+	}
+	var chunks []chunkRef
+	for i := range plans {
+		if plans[i].direct {
+			continue
+		}
+		for c, left := 0, plans[i].samples; left > 0; c++ {
+			cs := left
+			if cs > chunkSamples {
+				cs = chunkSamples
+			}
+			chunks = append(chunks, chunkRef{req: int32(i), chunk: int32(c), samples: int32(cs)})
+			left -= cs
+		}
+	}
+	meets := make([]int64, len(chunks))
+	runParallel(len(chunks), func(e *Estimator, ci int) {
+		ch := chunks[ci]
+		e.Reseed(chunkSeed(opt.Seed, int(ch.req), int(ch.chunk)))
+		node := reqs[ch.req].Node
+		if opt.Improved {
+			meets[ci] = e.tailMeets(node, plans[ch.req].lk, int(ch.samples))
+		} else {
+			meets[ci] = e.pairMeets(node, int(ch.samples))
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: exact merge — chunk meet counts are integers, so summation
+	// order cannot perturb the result.
+	totals := make([]int64, len(reqs))
+	for ci, ch := range chunks {
+		totals[ch.req] += meets[ci]
+	}
+	cPow := cPowTable(opt.C)
+	for i := range reqs {
+		p := &plans[i]
+		if p.direct {
+			continue
+		}
+		if opt.Improved {
+			out[i] = finishImproved(opt.C, cPow[p.lk], p.zSum, totals[i], p.samples)
+		} else {
+			out[i] = float64(int64(p.samples)-totals[i]) / float64(p.samples)
+		}
 	}
 	return out, nil
 }

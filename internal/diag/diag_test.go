@@ -2,6 +2,7 @@ package diag
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"github.com/exactsim/exactsim/internal/gen"
@@ -229,6 +230,30 @@ func TestBatchSerialParallelIdentical(t *testing.T) {
 	}
 }
 
+func TestBatchFatRequestSerialParallelIdentical(t *testing.T) {
+	// A request far above chunkSamples splits into many chunks; the merge
+	// must keep the result bit-identical across worker counts (this is the
+	// regime the chunking exists for — the source node's R(k)).
+	g := gen.BarabasiAlbert(300, 4, 7)
+	reqs := []Request{
+		{Node: 0, Samples: 3*chunkSamples + 17},
+		{Node: 5, Samples: 10},
+		{Node: 9, Samples: chunkSamples}, // exactly one chunk
+	}
+	for _, improved := range []bool{false, true} {
+		serial := Batch(g, reqs, Options{C: c, Improved: improved, Workers: 1, Seed: 9})
+		for _, workers := range []int{2, 8} {
+			par := Batch(g, reqs, Options{C: c, Improved: improved, Workers: workers, Seed: 9})
+			for i := range serial {
+				if math.Float64bits(serial[i]) != math.Float64bits(par[i]) {
+					t.Fatalf("improved=%v workers=%d req %d: %g vs %g",
+						improved, workers, i, serial[i], par[i])
+				}
+			}
+		}
+	}
+}
+
 func TestBatchEmpty(t *testing.T) {
 	g := gen.Cycle(3)
 	if got := Batch(g, nil, Options{C: c, Workers: 2, Seed: 1}); len(got) != 0 {
@@ -279,5 +304,41 @@ func BenchmarkImproved1000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Improved(int32(i%g.N()), 1000)
+	}
+}
+
+// benchBatchReqs models ExactSim's diagonal phase at tight ε: one fat
+// source request (the π²-sampling cap) plus a long tail of small ones.
+func benchBatchReqs(g *graph.Graph) []Request {
+	reqs := make([]Request, 0, 1001)
+	reqs = append(reqs, Request{Node: 0, Samples: 1 << 16})
+	for i := 1; i <= 1000; i++ {
+		reqs = append(reqs, Request{Node: int32(i % g.N()), Samples: 64})
+	}
+	return reqs
+}
+
+// BenchmarkDiagBatch is the stable baseline for the diagonal phase's
+// parallel scaling: run with -cpu=1,8 to see the fat-request sharding
+// effect (whole-request scheduling would pin the 1<<16-sample source on
+// one worker regardless of pool size).
+func BenchmarkDiagBatch(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 5, 1)
+	reqs := benchBatchReqs(g)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Batch(g, reqs, Options{C: c, Improved: true, Workers: workers, Seed: 1})
+	}
+}
+
+// BenchmarkDiagBatchSerial is BenchmarkDiagBatch pinned to one worker, the
+// denominator of the scaling ratio.
+func BenchmarkDiagBatchSerial(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 5, 1)
+	reqs := benchBatchReqs(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Batch(g, reqs, Options{C: c, Improved: true, Workers: 1, Seed: 1})
 	}
 }

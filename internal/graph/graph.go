@@ -59,6 +59,21 @@ func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
 }
 
+// InCSR exposes the raw in-adjacency CSR arrays: the in-neighbors of v are
+// adj[off[v]:off[v+1]]. The slices alias the graph's storage and must be
+// treated as read-only. Hot loops (the walk engine, the sparse kernels)
+// index these directly instead of calling InNeighbors per node, which saves
+// a slice-header construction and a bounds-check pair per access.
+func (g *Graph) InCSR() (off []int64, adj []int32) {
+	return g.inOff, g.inAdj
+}
+
+// OutCSR exposes the raw out-adjacency CSR arrays; see InCSR for the
+// aliasing contract.
+func (g *Graph) OutCSR() (off []int64, adj []int32) {
+	return g.outOff, g.outAdj
+}
+
 // HasEdge reports whether the directed edge u→v exists (binary search on
 // the out-adjacency of u).
 func (g *Graph) HasEdge(u, v NodeID) bool {

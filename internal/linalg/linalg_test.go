@@ -165,6 +165,153 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestSparseParallelBitIdentical(t *testing.T) {
+	// The sparse kernels promise bit-identical results at every worker
+	// count: shard boundaries are a function of the input's nonzero count
+	// and partials merge in shard order. Exercise inputs straddling the
+	// shard thresholds (1 shard, a few shards, the max).
+	r := rng.New(7)
+	g := randomGraph(r, 8000, 64000)
+	for _, nnz := range []int{10, 600, 2000, 8000} {
+		var sv sparse.Vector
+		seen := make(map[int32]bool)
+		for len(sv.Idx) < nnz {
+			idx := int32(r.Intn(g.N()))
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			sv.Idx = append(sv.Idx, idx)
+			sv.Val = append(sv.Val, r.Float64())
+		}
+		// kernel inputs must be index-sorted like all Vectors
+		sorted := sv.Clone()
+		sortVector(&sorted)
+
+		ref := NewOperator(g, 1)
+		refAcc := sparse.NewAccumulator(g.N())
+		wantP := ref.ApplyPSparse(&sorted, refAcc, 0.77, 0)
+		wantPT := ref.ApplyPTSparse(&sorted, refAcc, 0.77, 0)
+		for _, workers := range []int{2, 3, 8} {
+			op := NewOperator(g, workers)
+			acc := sparse.NewAccumulator(g.N())
+			gotP := op.ApplyPSparse(&sorted, acc, 0.77, 0)
+			if !vectorsBitEqual(&wantP, &gotP) {
+				t.Fatalf("nnz=%d workers=%d: ApplyPSparse not bit-identical to serial", nnz, workers)
+			}
+			gotPT := op.ApplyPTSparse(&sorted, acc, 0.77, 0)
+			if !vectorsBitEqual(&wantPT, &gotPT) {
+				t.Fatalf("nnz=%d workers=%d: ApplyPTSparse not bit-identical to serial", nnz, workers)
+			}
+		}
+	}
+}
+
+func sortVector(v *sparse.Vector) {
+	for i := 1; i < len(v.Idx); i++ {
+		for j := i; j > 0 && v.Idx[j-1] > v.Idx[j]; j-- {
+			v.Idx[j-1], v.Idx[j] = v.Idx[j], v.Idx[j-1]
+			v.Val[j-1], v.Val[j] = v.Val[j], v.Val[j-1]
+		}
+	}
+}
+
+func vectorsBitEqual(a, b *sparse.Vector) bool {
+	if len(a.Idx) != len(b.Idx) {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] || math.Float64bits(a.Val[i]) != math.Float64bits(b.Val[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestApplyPTFrontierMatchesDense(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 40+r.Intn(60), 300)
+		op := NewOperator(g, 1)
+		n := g.N()
+		x := make([]float64, n)
+		xf := NewFrontier(n)
+		for i := 0; i < 1+r.Intn(4); i++ {
+			idx := int32(r.Intn(n))
+			x[idx] = r.Float64()
+			xf.Add(idx)
+		}
+		dst := make([]float64, n)
+		// Pre-soil dst with stale values the frontier must clear.
+		dstf := NewFrontier(n)
+		for i := 0; i < 5; i++ {
+			idx := int32(r.Intn(n))
+			dst[idx] = 99
+			dstf.Add(idx)
+		}
+		op.ApplyPTFrontier(dst, x, 0.8, xf, dstf)
+		want := make([]float64, n)
+		op.ApplyPT(want, x, 0.8)
+		if d := maxAbsDiff(dst, want); d > 1e-12 {
+			t.Fatalf("trial %d: frontier PT differs by %g", trial, d)
+		}
+		// Every nonzero of dst must be inside the reported frontier.
+		if !dstf.Dense() {
+			onFront := make(map[int32]bool, dstf.Len())
+			for _, v := range dstf.list {
+				onFront[v] = true
+			}
+			for i, v := range dst {
+				if v != 0 && !onFront[int32(i)] {
+					t.Fatalf("trial %d: nonzero dst[%d] outside frontier", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyPTFrontierDenseFallback(t *testing.T) {
+	r := rng.New(13)
+	g := randomGraph(r, 400, 4000)
+	op := NewOperator(g, 2)
+	n := g.N()
+	x := randomDense(r, n)
+	xf := NewFrontier(n)
+	for i := 0; i < n; i++ { // frontier covers everything → > n/8 cutoff
+		xf.Add(int32(i))
+	}
+	dst := make([]float64, n)
+	for i := range dst {
+		dst[i] = 123 // stale everywhere; dense gather must overwrite all
+	}
+	dstf := NewFrontier(n)
+	op.ApplyPTFrontier(dst, x, 0.7, xf, dstf)
+	if !dstf.Dense() {
+		t.Fatal("full frontier did not flip dst frontier to dense")
+	}
+	want := make([]float64, n)
+	op.ApplyPT(want, x, 0.7)
+	if d := maxAbsDiff(dst, want); d != 0 {
+		t.Fatalf("dense fallback differs by %g", d)
+	}
+	// A later sparse application over a dense-stale dst must clear it.
+	clear(x)
+	xf.Reset()
+	x[0] = 1
+	xf.Add(0)
+	op.ApplyPTFrontier(want, x, 0.7, xf, dstf) // want is stale-dense now
+	for i, v := range want {
+		ref := 0.0
+		for _, u := range g.InNeighbors(int32(i)) {
+			ref += x[u]
+		}
+		ref *= 0.7 / float64(max(g.InDegree(int32(i)), 1))
+		if math.Abs(v-ref) > 1e-12 {
+			t.Fatalf("sparse-after-dense at %d: %g want %g", i, v, ref)
+		}
+	}
+}
+
 func TestDeadEndsAbsorb(t *testing.T) {
 	// Path 0→1→2: node 0 has no in-neighbors. P moves mass toward
 	// in-neighbors; mass on node 0 is absorbed (no outflow from x[0] via P

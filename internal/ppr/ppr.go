@@ -51,20 +51,24 @@ func Hops(op *linalg.Operator, source graph.NodeID, cfg Config) []sparse.Vector 
 
 // HopsCtx is Hops with per-level cancellation: the context is checked
 // before every application of √c·P, so a deadline interrupts the forward
-// phase after at most one level's worth of work.
+// phase after at most one level's worth of work. Scratch comes from the
+// operator's accumulator pool, so a sustained query load does not allocate
+// O(n) per forward phase.
 func HopsCtx(ctx context.Context, op *linalg.Operator, source graph.NodeID, cfg Config) ([]sparse.Vector, error) {
 	sqrtC := math.Sqrt(cfg.C)
-	n := op.Graph().N()
-	acc := sparse.NewAccumulator(n)
+	acc := op.GetAccumulator()
+	defer op.PutAccumulator(acc)
 	out := make([]sparse.Vector, 0, cfg.L+1)
+	// Each ApplyPSparse builds a fresh vector, so levels can be retained
+	// without cloning.
 	cur := sparse.Vector{Idx: []int32{source}, Val: []float64{1 - sqrtC}}
-	out = append(out, cur.Clone())
+	out = append(out, cur)
 	for ell := 1; ell <= cfg.L; ell++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		cur = op.ApplyPSparse(&cur, acc, sqrtC, cfg.Threshold)
-		out = append(out, cur.Clone())
+		out = append(out, cur)
 		if cur.Len() == 0 {
 			// all mass absorbed or truncated; remaining levels are zero
 			for len(out) <= cfg.L {
@@ -130,6 +134,14 @@ func TotalBytes(hops []sparse.Vector) int64 {
 // √c-walk started from a uniformly random node. PRSim ranks hub nodes by
 // this quantity, and its complexity bound is O(n·‖π‖²·log n/ε²).
 func WalkPageRank(op *linalg.Operator, c float64, L int) []float64 {
+	out, _ := WalkPageRankCtx(context.Background(), op, c, L)
+	return out
+}
+
+// WalkPageRankCtx is WalkPageRank with per-level cancellation, so PRSim's
+// hub selection — L dense products over the whole graph — honors the same
+// deadline contract as every other preprocessing loop.
+func WalkPageRankCtx(ctx context.Context, op *linalg.Operator, c float64, L int) ([]float64, error) {
 	sqrtC := math.Sqrt(c)
 	n := op.Graph().N()
 	cur := make([]float64, n)
@@ -139,13 +151,16 @@ func WalkPageRank(op *linalg.Operator, c float64, L int) []float64 {
 	total := append([]float64(nil), cur...)
 	next := make([]float64, n)
 	for ell := 1; ell <= L; ell++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		op.ApplyP(next, cur, sqrtC)
 		cur, next = next, cur
 		for i, v := range cur {
 			total[i] += v
 		}
 	}
-	return total
+	return total, nil
 }
 
 // Norm2Squared returns ‖x‖² = Σ x(k)² of a dense vector.

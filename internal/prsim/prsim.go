@@ -96,7 +96,10 @@ func BuildCtx(ctx context.Context, g *graph.Graph, p Params) (*Index, error) {
 	L := ppr.Levels(p.C, p.Eps)
 	sqrtC := math.Sqrt(p.C)
 
-	pr := ppr.WalkPageRank(op, p.C, L)
+	pr, err := ppr.WalkPageRankCtx(ctx, op, p.C, L)
+	if err != nil {
+		return nil, err
+	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i

@@ -10,7 +10,10 @@
 // parallel runs are reproducible regardless of scheduling.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a xoshiro256++ generator. The zero value is invalid; construct with
 // New or Split. RNG is not safe for concurrent use; give each goroutine its
@@ -86,29 +89,23 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
-	bound := uint64(n)
-	for {
-		x := r.Uint64()
-		hi, lo := mul64(x, bound)
-		if lo >= bound || lo >= (-bound)%bound {
-			return int(hi)
-		}
-	}
+	return int(r.Bounded(uint64(n)))
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	a0, a1 := a&mask, a>>32
-	b0, b1 := b&mask, b>>32
-	w0 := a0 * b0
-	t := a1*b0 + w0>>32
-	w1 := t & mask
-	w2 := t >> 32
-	w1 += a0 * b1
-	hi = a1*b1 + w2 + w1>>32
-	lo = a * b
-	return
+// Bounded returns a uniform uint64 in [0, n) for n > 0 using Lemire's
+// multiply-shift method: a single 128-bit multiply in the common case, with
+// the (rare) rejection branch computing the `-n % n` threshold lazily. This
+// is the random-neighbor primitive of the walk engine, so it must not
+// branch-mispredict or divide on the fast path.
+func (r *RNG) Bounded(n uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
 }
 
 // Int31 returns a uniform int32 in [0, n) for n > 0. Slightly faster than
@@ -120,6 +117,92 @@ func (r *RNG) Int31(n int32) int32 {
 // Bernoulli reports true with probability p.
 func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
+}
+
+// Geometric returns the number of consecutive successes of a Bernoulli(p)
+// trial before the first failure: P[X = k] = p^k·(1−p) for k ≥ 0. It is the
+// inverse-CDF method — one uniform draw replaces the whole run of per-trial
+// Bernoullis, which is what lets the walk engine sample a √c-walk's length
+// in O(1). Hot callers with a fixed p should precompute 1/ln(p) and use
+// GeometricInv instead.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		panic("rng: Geometric with p >= 1")
+	}
+	return r.GeometricInv(1 / math.Log(p))
+}
+
+// GeometricInv is Geometric for callers that precomputed invLnP = 1/ln(p).
+// P[X ≥ k] = P[1−U ≤ p^k] = p^k, so X = ⌊ln(1−U)/ln(p)⌋ is exact; U < 1
+// keeps ln(1−U) finite, so the result is bounded by ≈ 53·|1/log₂(p)|.
+func (r *RNG) GeometricInv(invLnP float64) int {
+	return int(math.Log1p(-r.Float64()) * invLnP)
+}
+
+// geometricMaxTable caps a GeometricSampler's threshold table; draws beyond
+// the table restart (geometric distributions are memoryless), so the cap
+// trades a little tail-draw cost for bounded memory when p is close to 1.
+const geometricMaxTable = 1024
+
+// GeometricSampler draws Geometric(p) variates — the count of consecutive
+// successes before the first failure — from a precomputed threshold table:
+// thresh[k] ≈ p^{k+1}·2⁶⁴, so a single Uint64 draw compared against the
+// table yields X with P[X ≥ k] = p^k at full 64-bit granularity. The scan
+// costs E[X]+1 integer compares and no floating-point math; an inverse-CDF
+// log call here showed up as 40% of the whole diagonal phase.
+//
+// A sampler is immutable after construction and safe to share across
+// goroutines (each draw's state lives in the caller's RNG).
+type GeometricSampler struct {
+	thresh []uint64
+}
+
+// NewGeometricSampler builds the table for success probability p ∈ [0, 1).
+func NewGeometricSampler(p float64) *GeometricSampler {
+	if p < 0 || p >= 1 {
+		panic("rng: GeometricSampler needs 0 <= p < 1")
+	}
+	gs := &GeometricSampler{}
+	// thresh[k] = round(p^{k+1}·2⁶⁴); stop once the survival probability
+	// rounds to zero at 64-bit granularity — beyond that X ≥ k is
+	// impossible under the sampler, matching P ≈ p^k < 2⁻⁶⁴.
+	pk := p
+	for k := 0; k < geometricMaxTable; k++ {
+		t := pk * (1 << 63) * 2 // p^{k+1}·2⁶⁴ without constant overflow
+		if t < 1 {
+			break
+		}
+		if t >= math.MaxUint64 {
+			t = math.MaxUint64
+		}
+		gs.thresh = append(gs.thresh, uint64(t))
+		pk *= p
+	}
+	return gs
+}
+
+// Sample draws one variate using r's stream.
+func (gs *GeometricSampler) Sample(r *RNG) int {
+	if len(gs.thresh) == 0 { // p == 0 (or rounds to it): X is always 0
+		return 0
+	}
+	total := 0
+	for {
+		u := r.Uint64()
+		k := 0
+		for k < len(gs.thresh) && u < gs.thresh[k] {
+			k++
+		}
+		total += k
+		if k < len(gs.thresh) {
+			return total
+		}
+		// Survived past the table: restart by memorylessness. Unreachable
+		// unless p is so close to 1 that the table hit its cap.
+	}
 }
 
 // NormFloat64 returns a standard normal variate (Marsaglia polar method).

@@ -207,21 +207,77 @@ func TestNormFloat64Moments(t *testing.T) {
 	}
 }
 
-func TestMul64(t *testing.T) {
-	cases := []struct {
-		a, b, hi, lo uint64
-	}{
-		{0, 0, 0, 0},
-		{1, 1, 0, 1},
-		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
-		{1 << 32, 1 << 32, 1, 0},
+func TestBoundedUniform(t *testing.T) {
+	r := New(9)
+	const n, trials = 7, 700000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		v := r.Bounded(n)
+		if v >= n {
+			t.Fatalf("Bounded(%d) returned %d", n, v)
+		}
+		counts[v]++
 	}
-	for _, c := range cases {
-		hi, lo := mul64(c.a, c.b)
-		if hi != c.hi || lo != c.lo {
-			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+	want := float64(trials) / n
+	for v, got := range counts {
+		if math.Abs(float64(got)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("Bounded bucket %d: %d draws, want ≈ %g", v, got, want)
 		}
 	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// E[Geometric(p)] = p/(1−p); check p = √0.6 (the walk engine's case).
+	r := New(11)
+	p := math.Sqrt(0.6)
+	const trials = 500000
+	total := 0
+	for i := 0; i < trials; i++ {
+		k := r.Geometric(p)
+		if k < 0 {
+			t.Fatalf("negative geometric draw %d", k)
+		}
+		total += k
+	}
+	want := p / (1 - p)
+	got := float64(total) / trials
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("geometric mean %g want %g", got, want)
+	}
+}
+
+func TestGeometricTailProbability(t *testing.T) {
+	// P[X ≥ k] = p^k exactly under inverse-CDF sampling.
+	r := New(13)
+	const p = 0.5
+	const trials = 400000
+	ge3 := 0
+	for i := 0; i < trials; i++ {
+		if r.Geometric(p) >= 3 {
+			ge3++
+		}
+	}
+	want := math.Pow(p, 3)
+	got := float64(ge3) / trials
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("P[X>=3] = %g want %g", got, want)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(17)
+	if got := r.Geometric(0); got != 0 {
+		t.Fatalf("Geometric(0) = %d", got)
+	}
+	if got := r.Geometric(-1); got != 0 {
+		t.Fatalf("Geometric(-1) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(1) accepted")
+		}
+	}()
+	r.Geometric(1)
 }
 
 func BenchmarkUint64(b *testing.B) {

@@ -8,7 +8,10 @@
 // argument — which frees the forward phase from its O(n·log(1/ε)) memory.
 package sparse
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Vector is a sparse vector: parallel slices of strictly increasing indices
 // and their values. The zero value is an empty vector.
@@ -162,9 +165,11 @@ func (a *Accumulator) Get(i int32) float64 { return a.dense[i] }
 func (a *Accumulator) Touched() int { return len(a.touched) }
 
 // Build extracts entries strictly greater than threshold as a sorted sparse
-// Vector and resets the accumulator.
+// Vector and resets the accumulator. The index sort is slices.Sort — the
+// reflection-based sort.Slice swapper showed up as ~18% of the diagonal
+// phase's profile before the switch.
 func (a *Accumulator) Build(threshold float64) Vector {
-	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
+	slices.Sort(a.touched)
 	var v Vector
 	v.Idx = make([]int32, 0, len(a.touched))
 	v.Val = make([]float64, 0, len(a.touched))
@@ -183,6 +188,40 @@ func (a *Accumulator) Build(threshold float64) Vector {
 // Reset clears the accumulator without building a vector.
 func (a *Accumulator) Reset() {
 	for _, idx := range a.touched {
+		a.dense[idx] = 0
+		a.mark[idx] = false
+	}
+	a.touched = a.touched[:0]
+}
+
+// BuildIntoUnsorted extracts entries strictly greater than threshold into
+// dst — reusing dst's backing arrays — in first-touch order, skipping the
+// index sort, and resets the accumulator. For consumers that only iterate
+// (and never binary-search or merge-join) a vector, the first-touch order
+// is just as deterministic as sorted order and costs nothing; diag.explore
+// builds hundreds of throwaway level vectors per node this way.
+func (a *Accumulator) BuildIntoUnsorted(dst *Vector, threshold float64) {
+	dst.Idx = dst.Idx[:0]
+	dst.Val = dst.Val[:0]
+	for _, idx := range a.touched {
+		if x := a.dense[idx]; x > threshold {
+			dst.Idx = append(dst.Idx, idx)
+			dst.Val = append(dst.Val, x)
+		}
+		a.dense[idx] = 0
+		a.mark[idx] = false
+	}
+	a.touched = a.touched[:0]
+}
+
+// DrainInto folds a's accumulated entries into dst (in a's touched order,
+// i.e. first-touch order) and resets a. It is the merge step of the
+// parallel sparse kernels: per-shard accumulators drain into the main one
+// in fixed shard order, so the floating-point addition order — and hence
+// the result, bit for bit — is independent of worker count and scheduling.
+func (a *Accumulator) DrainInto(dst *Accumulator) {
+	for _, idx := range a.touched {
+		dst.Add(idx, a.dense[idx])
 		a.dense[idx] = 0
 		a.mark[idx] = false
 	}

@@ -10,6 +10,21 @@
 //	D(k,k) = 1 − Pr[two √c-walks from v_k meet at ℓ ≥ 1] (paper §3.2)
 //
 // are the identities the MC baseline and the D estimators build on.
+//
+// The engine is built for the diagonal phase's throughput: millions of walk
+// pairs per query at tight ε. Three structural choices keep the per-step
+// cost to one bounded-random draw and two array loads:
+//
+//  1. Geometric length sampling. The per-step survival Bernoullis of a
+//     √c-walk are i.i.d. and independent of the position draws, so the
+//     number of survived steps is Geometric(√c) and can be drawn up front
+//     with a single draw (rng.GeometricSampler). A walk then takes exactly
+//     min(geometric length, dead-end time) position steps.
+//  2. Flat CSR indexing. The walker captures the graph's inOff/inAdj arrays
+//     once (graph.InCSR) and indexes them directly, instead of materializing
+//     an InNeighbors slice header per step.
+//  3. Lemire bounded sampling. Random neighbor selection uses
+//     rng.Bounded — one 128-bit multiply, no modulo, unbiased.
 package walk
 
 import (
@@ -23,8 +38,17 @@ import (
 // concurrent use: parallel drivers derive one Walker per worker via Fork.
 type Walker struct {
 	g     *graph.Graph
+	inOff []int64
+	inAdj []int32
 	sqrtC float64
-	r     *rng.RNG
+	// geo samples √c-walk lengths: Geometric(√c) via an integer threshold
+	// table, one Uint64 draw per walk. geoPair samples the joint survival
+	// of a walk *pair*: min of two independent Geometric(√c) lengths is
+	// Geometric(c), so one draw covers both walks. Immutable; shared
+	// across Forks.
+	geo     *rng.GeometricSampler
+	geoPair *rng.GeometricSampler
+	r       *rng.RNG
 }
 
 // NewWalker returns a walker over g with SimRank decay c, seeded
@@ -33,28 +57,43 @@ func NewWalker(g *graph.Graph, c float64, seed uint64) *Walker {
 	if c <= 0 || c >= 1 {
 		panic("walk: decay factor must lie in (0,1)")
 	}
-	return &Walker{g: g, sqrtC: math.Sqrt(c), r: rng.New(seed)}
+	inOff, inAdj := g.InCSR()
+	sqrtC := math.Sqrt(c)
+	return &Walker{
+		g:       g,
+		inOff:   inOff,
+		inAdj:   inAdj,
+		sqrtC:   sqrtC,
+		geo:     rng.NewGeometricSampler(sqrtC),
+		geoPair: rng.NewGeometricSampler(c),
+		r:       rng.New(seed),
+	}
 }
 
 // Fork derives an independent walker for another goroutine.
 func (w *Walker) Fork() *Walker {
-	return &Walker{g: w.g, sqrtC: w.sqrtC, r: w.r.Split()}
+	f := *w
+	f.r = w.r.Split()
+	return &f
 }
 
 // RNG exposes the walker's random stream (used by samplers built on top).
 func (w *Walker) RNG() *rng.RNG { return w.r }
 
-// step moves the walk one step if it survives; ok=false means the walk
-// stopped (decay or dead end).
-func (w *Walker) step(v graph.NodeID) (graph.NodeID, bool) {
-	if w.r.Float64() >= w.sqrtC {
+// length draws the number of steps a √c-walk survives: Geometric(√c), one
+// uniform draw.
+func (w *Walker) length() int {
+	return w.geo.Sample(w.r)
+}
+
+// stepIn moves to a uniformly random in-neighbor of v; ok=false on a dead
+// end. Survival is NOT sampled here — callers budget steps via length().
+func (w *Walker) stepIn(v graph.NodeID) (graph.NodeID, bool) {
+	lo, hi := w.inOff[v], w.inOff[v+1]
+	if lo == hi {
 		return v, false
 	}
-	in := w.g.InNeighbors(v)
-	if len(in) == 0 {
-		return v, false
-	}
-	return in[w.r.Intn(len(in))], true
+	return w.inAdj[lo+int64(w.r.Bounded(uint64(hi-lo)))], true
 }
 
 // Trajectory simulates one √c-walk from start, recording at most maxSteps
@@ -62,9 +101,13 @@ func (w *Walker) step(v graph.NodeID) (graph.NodeID, bool) {
 // of steps taken. dst is reused if it has capacity.
 func (w *Walker) Trajectory(start graph.NodeID, maxSteps int, dst []graph.NodeID) []graph.NodeID {
 	dst = append(dst[:0], start)
+	steps := w.length()
+	if steps > maxSteps {
+		steps = maxSteps
+	}
 	v := start
-	for step := 0; step < maxSteps; step++ {
-		next, alive := w.step(v)
+	for t := 0; t < steps; t++ {
+		next, alive := w.stepIn(v)
 		if !alive {
 			break
 		}
@@ -95,18 +138,29 @@ func TrajectoriesMeet(a, b []graph.NodeID) bool {
 // step 0, positions distinct unless x==y) and reports whether they ever
 // meet at a step ≥ 1. This is the MC estimator's primitive for S(x,y) when
 // combined with the step-0 check, and Algorithm 3's tail continuation.
+//
+// The pair can only meet while both walks are alive, and
+// min(Geometric(√c), Geometric(√c)) = Geometric(c), so a single geometric
+// draw budgets the whole pair; dead ends cut it short.
 func (w *Walker) PairMeetsFrom(x, y graph.NodeID) bool {
-	for {
-		nx, ax := w.step(x)
-		ny, ay := w.step(y)
-		if !ax || !ay {
+	steps := w.geoPair.Sample(w.r)
+	inOff, inAdj := w.inOff, w.inAdj
+	for t := 0; t < steps; t++ {
+		xlo, xhi := inOff[x], inOff[x+1]
+		if xlo == xhi {
 			return false
 		}
-		x, y = nx, ny
+		ylo, yhi := inOff[y], inOff[y+1]
+		if ylo == yhi {
+			return false
+		}
+		x = inAdj[xlo+int64(w.r.Bounded(uint64(xhi-xlo)))]
+		y = inAdj[ylo+int64(w.r.Bounded(uint64(yhi-ylo)))]
 		if x == y {
 			return true
 		}
 	}
+	return false
 }
 
 // PairNoMeet simulates two independent √c-walks from the same node k and
@@ -124,14 +178,15 @@ func (w *Walker) PairNoMeet(k graph.NodeID) bool {
 // to the deterministically-computed Σ Z_ℓ part).
 func (w *Walker) NonStopPrefixPair(k graph.NodeID, prefix int) (x, y graph.NodeID, ok bool) {
 	x, y = k, k
-	for step := 0; step < prefix; step++ {
-		xin := w.g.InNeighbors(x)
-		yin := w.g.InNeighbors(y)
-		if len(xin) == 0 || len(yin) == 0 {
+	inOff, inAdj := w.inOff, w.inAdj
+	for t := 0; t < prefix; t++ {
+		xlo, xhi := inOff[x], inOff[x+1]
+		ylo, yhi := inOff[y], inOff[y+1]
+		if xlo == xhi || ylo == yhi {
 			return x, y, false
 		}
-		x = xin[w.r.Intn(len(xin))]
-		y = yin[w.r.Intn(len(yin))]
+		x = inAdj[xlo+int64(w.r.Bounded(uint64(xhi-xlo)))]
+		y = inAdj[ylo+int64(w.r.Bounded(uint64(yhi-ylo)))]
 		if x == y {
 			return x, y, false
 		}
@@ -146,8 +201,9 @@ func (w *Walker) StopDistribution(source graph.NodeID, samples int) []float64 {
 	counts := make([]float64, w.g.N())
 	for s := 0; s < samples; s++ {
 		v := source
-		for {
-			next, alive := w.step(v)
+		steps := w.length()
+		for t := 0; t < steps; t++ {
+			next, alive := w.stepIn(v)
 			if !alive {
 				break
 			}

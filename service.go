@@ -222,7 +222,6 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 	return s, nil
 }
 
-
 // Query answers one request, blocking until a worker finishes it or ctx
 // ends. The per-request deadline (ctx, tightened by DefaultTimeout) is
 // live inside the algorithm's iteration loops, so a timeout interrupts

@@ -1,0 +1,105 @@
+package exactsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrorCode is the transport-stable error taxonomy of the query protocol.
+// Codes — not Go error identities — are what crosses a process boundary;
+// the *Error carrying one reconstructs the matching Go sentinel semantics
+// on the far side (see Error.Is), so errors.Is(err, context.DeadlineExceeded)
+// holds for a deadline that expired in a remote server.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument rejects a malformed request: out-of-range
+	// source, epsilon outside (0,1), negative k, unparsable body.
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeNotFound names a missing resource — an algorithm not in the
+	// registry.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeDeadlineExceeded is a query cancelled by its deadline
+	// (per-request timeout or the service-wide default). Matches
+	// context.DeadlineExceeded under errors.Is.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeCanceled is a query cancelled by its caller. Matches
+	// context.Canceled under errors.Is.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeUnavailable asks the caller to retry elsewhere or later: the
+	// service exists but cannot take the request now.
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeClosed is a request to a service that has been shut down.
+	// Matches ErrServiceClosed under errors.Is.
+	CodeClosed ErrorCode = "closed"
+	// CodeInternal is an unexpected server-side failure (a querier build
+	// error, a panic turned response). Not retryable by default.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the serializable per-request error of the query protocol. It
+// travels inside Response (and so over any transport) where a bare Go
+// error could not; Is() maps the stable Code back onto the standard
+// sentinels so call sites keep using errors.Is unchanged, locally or
+// against a remote server.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message,omitempty"`
+}
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return string(e.Code)
+	}
+	return string(e.Code) + ": " + e.Message
+}
+
+// Is makes errors.Is work across serialization: a deserialized *Error has
+// lost the original error identity, so matching is by Code. Two *Errors
+// match on equal codes; the context sentinels and ErrServiceClosed match
+// their corresponding codes.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case context.DeadlineExceeded:
+		return e.Code == CodeDeadlineExceeded
+	case context.Canceled:
+		return e.Code == CodeCanceled
+	case ErrServiceClosed:
+		return e.Code == CodeClosed
+	}
+	if te, ok := target.(*Error); ok {
+		return e.Code == te.Code
+	}
+	return false
+}
+
+// ToError maps any error onto the protocol taxonomy: nil stays nil, an
+// *Error passes through, the context sentinels and ErrServiceClosed map
+// to their codes, and anything unrecognized becomes CodeInternal (its
+// text is preserved in Message).
+func ToError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe
+	}
+	code := CodeInternal
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	case errors.Is(err, ErrServiceClosed):
+		code = CodeClosed
+	}
+	return &Error{Code: code, Message: err.Error()}
+}

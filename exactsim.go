@@ -21,11 +21,17 @@
 // ablation variant, and the six baselines all answer through the same
 // Querier interface with context-based cancellation. For concurrent
 // multi-user traffic, wrap the graph in a Service (worker pool, per-query
-// deadlines, LRU result cache, batching):
+// deadlines, epoch-keyed LRU result cache, batching, live graph updates
+// via Update/ServeDynamic):
 //
 //	svc, _ := exactsim.NewService(g, exactsim.ServiceOptions{})
 //	defer svc.Close()
 //	resp := svc.Query(ctx, exactsim.Request{Source: 42, K: 10})
+//
+// Request/Response form a serializable protocol (structured error codes,
+// graph epochs) with an HTTP transport in the httpapi package and a
+// serving daemon in cmd/exactsimd; httpapi.Client implements this same
+// Querier interface against a remote server. See DESIGN.md §6.
 //
 // The legacy engine-per-algorithm constructors (New, BuildMCIndex, ...)
 // remain for direct access to algorithm-specific records.

@@ -1,10 +1,13 @@
-// Dynamic demonstrates the index-free advantage the paper notes in §4:
-// ExactSim (like ParSim) "can handle dynamic graphs" — after edge updates,
-// a query on a fresh snapshot is exact with zero maintenance, while
-// index-based methods (MC, PRSim, Linearization) keep answering from a
-// stale index until they pay a full rebuild. Both sides go through the
-// same Querier interface; the difference is only *which graph snapshot*
-// each querier was constructed on.
+// Dynamic demonstrates live graph serving — the index-free advantage the
+// paper notes in §4: ExactSim "can handle dynamic graphs" because after
+// edge updates a query on a fresh snapshot is exact with zero
+// maintenance. Here that property is wired all the way into the serving
+// layer: a Service subscribed to a DynamicGraph (ServeDynamic) swaps in
+// each published snapshot under a new epoch without downtime — stale
+// cache lines are evicted, in-flight queries finish on the epoch they
+// started with, and every response says which generation answered it. An
+// index-based method (MC) built before the updates keeps answering the
+// old graph until it pays a full rebuild.
 //
 //	go run ./examples/dynamic
 package main
@@ -26,28 +29,36 @@ func main() {
 	dyn := exactsim.DynamicFrom(g0)
 	fmt.Printf("initial graph: n=%d m=%d\n", dyn.N(), dyn.M())
 
+	// ServeDynamic subscribes the service to the graph: every Publish
+	// installs the fresh snapshot as the next epoch.
+	svc, err := exactsim.ServeDynamic(dyn, exactsim.ServiceOptions{
+		Workers:        4,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(1e-3), exactsim.WithSeed(7)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
 	const source = 5
 	const k = 5
 	ctx := context.Background()
 
-	query := func(tag string, g *exactsim.Graph) []exactsim.Entry {
-		q, err := exactsim.NewQuerier("exactsim", g,
-			exactsim.WithEpsilon(1e-3), exactsim.WithSeed(7))
-		if err != nil {
-			log.Fatal(err)
+	query := func(tag string) exactsim.Response {
+		resp := svc.Query(ctx, exactsim.Request{Source: source, K: k})
+		if resp.Err != nil {
+			log.Fatal(resp.Err)
 		}
-		top, _, err := q.TopK(ctx, source, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n%s — top-%d of node %d:\n", tag, k, source)
-		for rank, e := range top {
+		fmt.Printf("\n%s — top-%d of node %d (epoch %d, cache_hit=%v):\n",
+			tag, k, source, resp.GraphEpoch, resp.CacheHit)
+		for rank, e := range resp.TopK {
 			fmt.Printf("  %d. node %-6d s = %.6f\n", rank+1, e.Idx, e.Val)
 		}
-		return top
+		return resp
 	}
 
-	before := query("before updates", dyn.Snapshot())
+	before := query("before updates")
+	query("same query again") // served by the epoch-1 cache line
 
 	// A stale MC index built now will keep answering the OLD graph.
 	staleIndex, err := exactsim.NewQuerier("mc", dyn.Snapshot(),
@@ -57,18 +68,22 @@ func main() {
 	}
 
 	// Update burst: rewire the source's neighborhood towards the current
-	// top hit, making them strongly similar.
-	target := before[0].Idx
+	// top hit, making them strongly similar. The service keeps answering
+	// throughout; nothing changes until Publish commits the batch.
+	target := before.TopK[0].Idx
 	added := 0
 	for _, v := range dyn.Snapshot().OutNeighbors(target) {
 		if dyn.AddEdge(v, source) { // give source the same referrers
 			added++
 		}
 	}
-	fmt.Printf("\napplied %d edge insertions (source now shares %d in-neighbors with node %d)\n",
-		added, added, target)
+	dyn.Publish()
+	fmt.Printf("\napplied %d edge insertions and published — service epoch is now %d\n",
+		added, svc.Epoch())
 
-	query("after updates (fresh snapshot, zero maintenance)", dyn.Snapshot())
+	// The same request again: the pre-update cache line is gone (epoch-
+	// keyed), the answer is exact on the new graph, zero maintenance paid.
+	query("after publish (fresh epoch, zero maintenance)")
 
 	// The stale index still reports pre-update similarities.
 	staleTop, _, err := staleIndex.TopK(ctx, source, k)
@@ -79,7 +94,7 @@ func main() {
 	for rank, e := range staleTop {
 		fmt.Printf("  %d. node %-6d s = %.6f\n", rank+1, e.Idx, e.Val)
 	}
-	fmt.Println("\nExactSim needed no rebuild: it is index-free, so the updated")
-	fmt.Println("similarities are exact immediately. The MC index must be rebuilt")
-	fmt.Println("from scratch to notice the new edges.")
+	fmt.Println("\nExactSim needed no rebuild: it is index-free, so the live service")
+	fmt.Println("serves the updated similarities exactly, from the moment of Publish.")
+	fmt.Println("The MC index must be rebuilt from scratch to notice the new edges.")
 }

@@ -1,0 +1,254 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// Client talks the HTTP query protocol and implements exactsim.Querier,
+// so a remote exactsimd slots in anywhere a local querier does:
+//
+//	c, _ := httpapi.NewClient("http://localhost:8640", httpapi.WithAlgorithm("exactsim"))
+//	var q exactsim.Querier = c
+//	res, err := q.SingleSource(ctx, 42)
+//
+// A context deadline on a call is forwarded to the server as timeout_ms,
+// so the computation is cancelled server-side too; a server-side
+// "deadline_exceeded" comes back as an error matching
+// context.DeadlineExceeded under errors.Is. Client is safe for concurrent
+// use.
+type Client struct {
+	base      string
+	hc        *http.Client
+	algorithm string
+	epsilon   float64
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, instrumentation). Default: http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithAlgorithm pins the algorithm SingleSource and TopK request; empty
+// (the default) lets the server's default answer.
+func WithAlgorithm(name string) ClientOption {
+	return func(c *Client) { c.algorithm = name }
+}
+
+// WithEpsilon pins the per-request error target SingleSource and TopK
+// request; 0 (the default) keeps the server-side default.
+func WithEpsilon(eps float64) ClientOption {
+	return func(c *Client) { c.epsilon = eps }
+}
+
+// NewClient points a client at an exactsimd base URL (scheme + host,
+// e.g. "http://localhost:8640").
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("httpapi: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Name returns the algorithm this client was configured with ("" = the
+// server default answers).
+func (c *Client) Name() string { return c.algorithm }
+
+// Graph returns nil: the remote graph is not materialized client-side.
+// Callers that need its shape ask the server (Stats reports the epoch;
+// score vectors arrive sized to the remote n).
+func (c *Client) Graph() *exactsim.Graph { return nil }
+
+// SingleSource answers one single-source query remotely. Per-request
+// failures (including a server-side deadline) are returned as the
+// structured *exactsim.Error.
+func (c *Client) SingleSource(ctx context.Context, source exactsim.NodeID) (*exactsim.QueryResult, error) {
+	resp, err := c.Query(ctx, exactsim.Request{
+		Algorithm: c.algorithm, Source: source, Epsilon: c.epsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return resp.Result, nil
+}
+
+// TopK answers one top-k query remotely, returning the entries and the
+// underlying full result.
+func (c *Client) TopK(ctx context.Context, source exactsim.NodeID, k int) ([]exactsim.Entry, *exactsim.QueryResult, error) {
+	if k <= 0 {
+		return nil, nil, exactsim.Errorf(exactsim.CodeInvalidArgument, "httpapi: k %d not positive", k)
+	}
+	resp, err := c.Query(ctx, exactsim.Request{
+		Algorithm: c.algorithm, Source: source, Epsilon: c.epsilon, K: k,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != nil {
+		return nil, nil, resp.Err
+	}
+	return resp.TopK, resp.Result, nil
+}
+
+// Query sends one protocol request verbatim. The returned error covers
+// transport and decoding failures only; per-request failures arrive in
+// Response.Err, exactly as they do from a local Service.
+func (c *Client) Query(ctx context.Context, req exactsim.Request) (exactsim.Response, error) {
+	qr := QueryRequest{Request: req, TimeoutMillis: timeoutMillis(ctx)}
+	var resp exactsim.Response
+	if err := c.post(ctx, "/v1/query", qr, &resp); err != nil {
+		// A protocol error (non-2xx with a {code, message} envelope)
+		// belongs in Response.Err, same as a local Service would report
+		// it; only transport failures surface as Query's own error.
+		var pe *exactsim.Error
+		if errors.As(err, &pe) {
+			if resp.Err == nil {
+				resp.Err = pe
+			}
+			if resp.Request == (exactsim.Request{}) {
+				resp.Request = req
+			}
+			return resp, nil
+		}
+		return exactsim.Response{Request: req}, err
+	}
+	return resp, nil
+}
+
+// Batch sends many requests in one round trip; responses align with
+// requests by index, each carrying its own Err.
+func (c *Client) Batch(ctx context.Context, reqs []exactsim.Request) ([]exactsim.Response, error) {
+	br := BatchRequest{Requests: reqs, TimeoutMillis: timeoutMillis(ctx)}
+	var out BatchResponse
+	if err := c.post(ctx, "/v1/batch", br, &out); err != nil {
+		return nil, err
+	}
+	return out.Responses, nil
+}
+
+// Algorithms returns the server's registry names and default algorithm.
+func (c *Client) Algorithms(ctx context.Context) (names []string, def string, err error) {
+	var ar AlgorithmsResponse
+	if err := c.get(ctx, "/v1/algorithms", &ar); err != nil {
+		return nil, "", err
+	}
+	return ar.Algorithms, ar.Default, nil
+}
+
+// Stats returns the server's service counters and gauges.
+func (c *Client) Stats(ctx context.Context) (exactsim.ServiceStats, error) {
+	var st exactsim.ServiceStats
+	err := c.get(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("httpapi: health check returned %s", res.Status)
+	}
+	return nil
+}
+
+// timeoutMillis converts a context deadline into the wire timeout (≥1ms
+// when a deadline exists, so an almost-expired context still serializes
+// as a bound rather than "none").
+func timeoutMillis(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("httpapi: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do executes one exchange and decodes the JSON body into out. A non-2xx
+// status with a protocol {code, message} envelope is returned as the
+// *exactsim.Error it carries (after also decoding the envelope into out,
+// which for /v1/query is the same Response); anything else non-2xx, or a
+// 2xx body that is not the protocol's JSON, is a transport error.
+func (c *Client) do(req *http.Request, out any) error {
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return fmt.Errorf("httpapi: reading %s %s response: %w", req.Method, req.URL.Path, err)
+	}
+	if res.StatusCode < 200 || res.StatusCode >= 300 {
+		var env struct {
+			Err *exactsim.Error `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Err != nil {
+			json.Unmarshal(data, out)
+			return env.Err
+		}
+		return fmt.Errorf("httpapi: %s %s returned %s", req.Method, req.URL.Path, res.Status)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("httpapi: %s %s returned %s with undecodable body: %v",
+			req.Method, req.URL.Path, res.Status, err)
+	}
+	return nil
+}

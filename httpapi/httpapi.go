@@ -1,0 +1,85 @@
+// Package httpapi is the HTTP transport of the exactsim query protocol:
+// a Server exposing a Service over five endpoints, and a Client that
+// implements the same exactsim.Querier interface the in-process engines
+// do, so code written against a local graph can point at a remote daemon
+// unchanged.
+//
+// The wire types ARE the in-process types — exactsim.Request and
+// exactsim.Response serialize as-is, per-request errors travel as the
+// structured {code, message} of exactsim.Error, and every response
+// carries the graph epoch it was computed on. The endpoints:
+//
+//	POST /v1/query       one Request (+ optional timeout_ms) → Response
+//	POST /v1/batch       {"requests": [...]} → {"responses": [...]}
+//	GET  /v1/algorithms  registry names + the service default
+//	GET  /v1/stats       ServiceStats (counters + load-balancer gauges)
+//	GET  /healthz        liveness probe
+//
+// A client-requested timeout_ms becomes a server-side context deadline,
+// so a slow query is cancelled inside its computation loops and answers
+// with code "deadline_exceeded" — which the Client surfaces as an error
+// matching context.DeadlineExceeded, exactly like a local query would.
+// See DESIGN.md §6 and cmd/exactsimd.
+package httpapi
+
+import (
+	"net/http"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// QueryRequest is the body of POST /v1/query: an exactsim.Request plus
+// the transport-only timeout.
+type QueryRequest struct {
+	exactsim.Request
+	// TimeoutMillis, when positive, bounds this query server-side: the
+	// server derives a context deadline from it, so cancellation reaches
+	// inside the algorithm's computation loops. The Client fills it from
+	// the caller's context deadline automatically.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch. TimeoutMillis bounds the
+// whole batch (each response still fails individually).
+type BatchRequest struct {
+	Requests      []exactsim.Request `json:"requests"`
+	TimeoutMillis int64              `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse is the body answering POST /v1/batch; Responses align
+// with the submitted Requests by index.
+type BatchResponse struct {
+	Responses []exactsim.Response `json:"responses"`
+}
+
+// AlgorithmsResponse is the body answering GET /v1/algorithms.
+type AlgorithmsResponse struct {
+	// Algorithms lists every registry name the server accepts.
+	Algorithms []string `json:"algorithms"`
+	// Default answers requests with an empty algorithm field.
+	Default string `json:"default"`
+}
+
+// StatusOf maps a protocol error code onto its HTTP status. Success (nil)
+// is 200; unknown codes map to 500.
+func StatusOf(e *exactsim.Error) int {
+	if e == nil {
+		return http.StatusOK
+	}
+	switch e.Code {
+	case exactsim.CodeInvalidArgument:
+		return http.StatusBadRequest
+	case exactsim.CodeNotFound:
+		return http.StatusNotFound
+	case exactsim.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case exactsim.CodeCanceled:
+		// 499 Client Closed Request (nginx convention): the caller went
+		// away; no standard status fits better.
+		return 499
+	case exactsim.CodeUnavailable, exactsim.CodeClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,154 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// ServerOptions bounds what one HTTP request may cost. The zero value is
+// usable.
+type ServerOptions struct {
+	// MaxBatch caps the request count of one /v1/batch call. 0 selects
+	// 4096; negative removes the bound.
+	MaxBatch int
+	// MaxBodyBytes caps a request body. 0 selects 8 MiB; negative
+	// removes the bound.
+	MaxBodyBytes int64
+	// MaxTimeout clamps client-requested timeout_ms values, and bounds
+	// requests that ask for no timeout at all. 0 leaves both unbounded
+	// (the Service's DefaultTimeout still applies).
+	MaxTimeout time.Duration
+}
+
+func (o *ServerOptions) normalize() {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server exposes one exactsim.Service over the HTTP query protocol. It is
+// an http.Handler; mount it directly or under a prefix of your own mux.
+type Server struct {
+	svc  *exactsim.Service
+	opts ServerOptions
+	mux  *http.ServeMux
+}
+
+// NewServer wraps svc. The caller keeps ownership of svc (and closes it);
+// a request arriving after Close answers with code "closed" / 503.
+func NewServer(svc *exactsim.Service, opts ServerOptions) *Server {
+	opts.normalize()
+	s := &Server{svc: svc, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Service returns the wrapped service (for stats, updates, Close).
+func (s *Server) Service() *exactsim.Service { return s.svc }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qr QueryRequest
+	if e := s.decode(w, r, &qr); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), qr.TimeoutMillis)
+	defer cancel()
+	resp := s.svc.Query(ctx, qr.Request)
+	writeJSON(w, StatusOf(resp.Err), resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var br BatchRequest
+	if e := s.decode(w, r, &br); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
+	if s.opts.MaxBatch > 0 && len(br.Requests) > s.opts.MaxBatch {
+		e := exactsim.Errorf(exactsim.CodeInvalidArgument,
+			"httpapi: batch of %d exceeds the server bound %d", len(br.Requests), s.opts.MaxBatch)
+		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), br.TimeoutMillis)
+	defer cancel()
+	// Per-request failures live inside each Response; the batch call
+	// itself is a 200.
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: s.svc.Batch(ctx, br.Requests)})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AlgorithmsResponse{
+		Algorithms: exactsim.Algorithms(),
+		Default:    s.svc.DefaultAlgorithm(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// requestContext maps the wire timeout onto a context deadline, clamped
+// by MaxTimeout.
+func (s *Server) requestContext(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	timeout := time.Duration(timeoutMillis) * time.Millisecond
+	if s.opts.MaxTimeout > 0 && (timeout <= 0 || timeout > s.opts.MaxTimeout) {
+		timeout = s.opts.MaxTimeout
+	}
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// decode reads one JSON body under the size bound. A failure is reported
+// as a protocol error so clients see the same {code, message} shape on
+// every path.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) *exactsim.Error {
+	body := r.Body
+	if s.opts.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	// Unknown fields are ignored deliberately: /v1 clients newer than the
+	// server must keep working when optional fields are added.
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return exactsim.Errorf(exactsim.CodeInvalidArgument,
+				"httpapi: body exceeds %d bytes", tooLarge.Limit)
+		}
+		return exactsim.Errorf(exactsim.CodeInvalidArgument, "httpapi: bad request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a fully materialized response cannot fail except for a
+	// broken connection, which has no recovery anyway.
+	json.NewEncoder(w).Encode(v)
+}

@@ -33,18 +33,22 @@ import (
 
 // Result is the uniform single-source answer: the full score vector plus
 // the accounting a serving layer or experiment harness wants.
+// The JSON tags make it the wire result of the serving protocol (see the
+// httpapi package); Detail stays process-local — the algorithm-specific
+// records hold engine internals that do not serialize meaningfully.
 type Result struct {
 	// Algorithm is the registry name of the method that produced this.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 	// Scores holds ŝ(j) for every node j; Scores[source] = 1.
 	// A Result may be shared (e.g. by a cache): treat Scores as read-only.
-	Scores []float64
-	// QueryTime is the wall time of this query (excluding any index build).
-	QueryTime time.Duration
+	Scores []float64 `json:"scores"`
+	// QueryTime is the wall time of this query (excluding any index
+	// build), serialized as nanoseconds.
+	QueryTime time.Duration `json:"query_time_ns"`
 	// Detail optionally carries the algorithm-specific result record —
 	// *core.Result for the ExactSim variants — for callers that want the
 	// phase timings and sample counts behind the paper's tables.
-	Detail any
+	Detail any `json:"-"`
 }
 
 // Querier is the unified single-source SimRank interface. Implementations

@@ -6,9 +6,11 @@ import (
 )
 
 // Entry pairs a node index with a score; TopK returns slices of these.
+// The JSON tags give top-k results a stable wire shape for the serving
+// protocol.
 type Entry struct {
-	Idx int32
-	Val float64
+	Idx int32   `json:"node"`
+	Val float64 `json:"score"`
 }
 
 // entryMinHeap is a min-heap on Val with deterministic tie-breaking on Idx

@@ -7,8 +7,11 @@ import (
 
 // cacheKey identifies one cached single-source answer. Epsilon is part of
 // the key because the same (algorithm, source) pair answers differently at
-// different error targets; 0 means "service default".
+// different error targets; 0 means "service default". The epoch pins an
+// entry to the graph generation it was computed on — epochs never repeat,
+// so a post-update query can never match a pre-update entry.
 type cacheKey struct {
+	epoch     uint64
 	algorithm string
 	source    NodeID
 	epsilon   float64
@@ -74,6 +77,40 @@ func (c *resultCache) put(key cacheKey, res *QueryResult) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheSlot).key)
+	}
+}
+
+// evictIf removes every entry whose key matches drop — Service.Update
+// uses it to reclaim the capacity stale-epoch entries would otherwise
+// squat on until natural eviction.
+func (c *resultCache) evictIf(drop func(cacheKey) bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if key := el.Value.(*cacheSlot).key; drop(key) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+// remove deletes one entry if present — the undo half of the
+// put-then-recheck dance Service.execute does against concurrent epoch
+// updates.
+func (c *resultCache) remove(key cacheKey) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 	"time"
 )
 
-// ErrServiceClosed is returned by Query and Batch after Close.
+// ErrServiceClosed is returned by Query and Batch after Close (as a
+// Response.Err with CodeClosed; errors.Is against this sentinel works).
 var ErrServiceClosed = errors.New("exactsim: service closed")
 
 // ServiceOptions configures a Service. The zero value is usable: it serves
@@ -25,21 +26,21 @@ type ServiceOptions struct {
 	// it block in Query until a slot frees (or their context expires).
 	// 0 selects 4×Workers.
 	QueueDepth int
-	// CacheSize is the single-source LRU capacity, keyed by (algorithm,
-	// source, ε). 0 selects 1024; negative disables caching.
+	// CacheSize is the single-source LRU capacity, keyed by (epoch,
+	// algorithm, source, ε). 0 selects 1024; negative disables caching.
 	CacheSize int
-	// MaxQueriers bounds the retained (algorithm, ε) queriers — each can
-	// hold a full index, so the map must not grow with every distinct
-	// client-supplied epsilon. Least-recently-used queriers are dropped
-	// beyond the bound (in-flight queries keep theirs; the structures are
-	// immutable). 0 selects 64.
+	// MaxQueriers bounds the retained (epoch, algorithm, ε) queriers —
+	// each can hold a full index, so the map must not grow with every
+	// distinct client-supplied epsilon. Least-recently-used queriers are
+	// dropped beyond the bound (in-flight queries keep theirs; the
+	// structures are immutable). 0 selects 64.
 	MaxQueriers int
 	// DefaultAlgorithm answers requests with an empty Algorithm field.
 	// Empty selects "exactsim".
 	DefaultAlgorithm string
 	// DefaultTimeout, when positive, bounds every query that has no
 	// earlier deadline of its own; exceeding it surfaces as
-	// context.DeadlineExceeded in the Response.
+	// CodeDeadlineExceeded (errors.Is context.DeadlineExceeded).
 	DefaultTimeout time.Duration
 	// QuerierOptions are applied to every querier the service constructs,
 	// before the per-request epsilon. Use them to pin C, seeds, worker
@@ -65,66 +66,104 @@ func (o *ServiceOptions) normalize() {
 	}
 }
 
-// Request names one single-source (or top-k) SimRank query.
+// Request names one single-source (or top-k) SimRank query. It is the
+// wire request of the query protocol: plain JSON-taggable fields only, so
+// the same struct serves in-process calls, the HTTP API and any future
+// transport.
 type Request struct {
 	// Algorithm is a registry name (see Algorithms); empty selects the
 	// service default.
-	Algorithm string
+	Algorithm string `json:"algorithm,omitempty"`
 	// Source is the query node.
-	Source NodeID
+	Source NodeID `json:"source"`
 	// K, when positive, additionally extracts the top-k entries.
-	K int
+	K int `json:"k,omitempty"`
 	// Epsilon overrides the error target for this request; 0 keeps the
 	// service-wide default. Distinct epsilons get distinct queriers and
 	// distinct cache lines.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon,omitempty"`
 	// NoCache bypasses the result cache for this request (both lookup and
 	// fill) — for callers that need a fresh computation, e.g. right after
 	// graph updates elsewhere.
-	NoCache bool
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
-// Response carries one request's outcome. Err is per-request: a batch can
-// mix successes and failures (cancelled queries report ctx.Err()).
+// Response carries one request's outcome. Err is per-request and
+// structured (a batch can mix successes and failures); the whole struct
+// round-trips through JSON, which is what lets the HTTP transport reuse
+// it unchanged.
 type Response struct {
 	// Request echoes the (normalized) request this answers.
-	Request Request
+	Request Request `json:"request"`
 	// Result is the full single-source result; shared with the cache, so
 	// treat Result.Scores as read-only.
-	Result *QueryResult
+	Result *QueryResult `json:"result,omitempty"`
 	// TopK is populated when Request.K > 0.
-	TopK []Entry
-	// CacheHit reports whether Result came from the LRU.
-	CacheHit bool
-	// Err is the per-request error, nil on success.
-	Err error
+	TopK []Entry `json:"top_k,omitempty"`
+	// CacheHit reports whether Result came from the LRU. Serialized even
+	// when false — the §6 wire examples show it explicitly.
+	CacheHit bool `json:"cache_hit"`
+	// GraphEpoch is the graph generation this response was computed on.
+	// Epochs start at 1 and increment on every Service.Update; a response
+	// is internally consistent on its epoch even when an update lands
+	// mid-query.
+	GraphEpoch uint64 `json:"graph_epoch"`
+	// Err is the per-request error, nil on success. Cancelled queries
+	// report CodeCanceled/CodeDeadlineExceeded (matching the context
+	// sentinels under errors.Is).
+	Err *Error `json:"error,omitempty"`
 }
 
-// ServiceStats is a point-in-time counter snapshot.
+// ServiceStats is a point-in-time snapshot: monotonic counters plus the
+// gauges a load balancer wants when deciding where to send traffic.
 type ServiceStats struct {
 	// Queries is the number of requests answered (including failures).
-	Queries int64
+	Queries int64 `json:"queries"`
 	// CacheHits counts requests served from the LRU.
-	CacheHits int64
+	CacheHits int64 `json:"cache_hits"`
 	// Errors counts requests that returned a non-nil Err.
-	Errors int64
+	Errors int64 `json:"errors"`
 	// CachedResults is the current LRU entry count.
-	CachedResults int
+	CachedResults int `json:"cached_results"`
+	// QueueDepth is the number of queries waiting for a worker right now.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of queries computing on workers right now.
+	InFlight int `json:"in_flight"`
+	// Queriers is the number of retained (epoch, algorithm, ε) queriers.
+	Queriers int `json:"queriers"`
+	// GraphEpoch is the current graph generation (starts at 1).
+	GraphEpoch uint64 `json:"graph_epoch"`
 }
 
-// Service is a concurrent SimRank query front-end over one graph: a
+// graphState is one immutable graph generation. Queries capture the
+// current state once at entry and use it throughout, so an Update landing
+// mid-query never mixes epochs inside one response.
+type graphState struct {
+	g     *Graph
+	epoch uint64
+}
+
+// Service is a concurrent SimRank query front-end over a live graph: a
 // bounded worker pool executing Querier calls, per-query deadlines with
 // cancellation honored inside the algorithms' computation loops, an LRU
-// cache of single-source results keyed by (algorithm, source, ε), and
-// lazy per-algorithm querier construction (an index-based algorithm pays
-// its build on first use, not at service start).
+// cache of single-source results keyed by (epoch, algorithm, source, ε),
+// lazy per-algorithm querier construction, and epoch-based graph
+// generations — Update installs a new snapshot under the next epoch
+// without downtime (the paper's index-free property is what makes this
+// cheap: no index maintenance, just fresh queriers on the new snapshot).
 //
-// Queriers are cached per (algorithm, ε) and shared across workers — the
-// underlying engines are immutable after construction, so concurrent
+// Queriers are cached per (epoch, algorithm, ε) and shared across workers —
+// the underlying engines are immutable after construction, so concurrent
 // queries are safe (verified by the race-detector tests).
 type Service struct {
-	g    *Graph
 	opts ServiceOptions
+
+	// state is the current graph generation; swapped atomically by Update.
+	state atomic.Pointer[graphState]
+	// updateMu serializes Update calls so epochs are strictly increasing.
+	updateMu sync.Mutex
+	// unsubscribe detaches a ServeDynamic subscription on Close.
+	unsubscribe func()
 
 	jobs    chan *serviceJob
 	workers sync.WaitGroup
@@ -140,17 +179,18 @@ type Service struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	// queriers are lazily built per (algorithm, ε), one build in flight
-	// per key (single-flight); the map is LRU-bounded by MaxQueriers.
+	// queriers are lazily built per (epoch, algorithm, ε), one build in
+	// flight per key (single-flight); the map is LRU-bounded by
+	// MaxQueriers, and Update drops every completed stale-epoch entry.
 	querierMu  sync.Mutex
 	queriers   map[querierKey]*querierSlot
 	querierSeq int64
 
 	// inflight dedupes identical cacheable requests: concurrent queries
-	// for the same (algorithm, source, ε) elect one leader to compute
-	// while the rest wait on its flight — without this, N clients asking
-	// for the same cold key would saturate the pool with N copies of the
-	// same expensive computation (cache stampede).
+	// for the same (epoch, algorithm, source, ε) elect one leader to
+	// compute while the rest wait on its flight — without this, N clients
+	// asking for the same cold key would saturate the pool with N copies
+	// of the same expensive computation (cache stampede).
 	flightMu sync.Mutex
 	inflight map[cacheKey]*flight
 
@@ -159,21 +199,23 @@ type Service struct {
 	queries   atomic.Int64
 	cacheHits atomic.Int64
 	errors    atomic.Int64
+	inFlight  atomic.Int64
 }
 
 // querierKey identifies one constructed querier. Unlike the result
 // cacheKey it has no source field — a querier answers every source — and
 // the distinct type keeps a future edit from accidentally fragmenting the
-// querier map per source.
+// querier map per source. The epoch pins a querier to the graph
+// generation it was built on.
 type querierKey struct {
+	epoch     uint64
 	algorithm string
 	epsilon   float64
 }
 
-// querierSlot is the single-flight build state for one (algorithm, ε).
-// The creator spawns the build; everyone else waits on done under their
-// own context, so a slow index build never blocks a worker past its
-// request deadline.
+// querierSlot is the single-flight build state for one key. The creator
+// spawns the build; everyone else waits on done under their own context,
+// so a slow index build never blocks a worker past its request deadline.
 type querierSlot struct {
 	done chan struct{}
 	q    Querier
@@ -190,11 +232,12 @@ type flight struct {
 
 type serviceJob struct {
 	ctx  context.Context
+	st   *graphState
 	req  Request
 	resp chan Response
 }
 
-// NewService starts a query service over g.
+// NewService starts a query service over g (graph epoch 1).
 func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 	if g == nil {
 		return nil, errors.New("exactsim: nil graph")
@@ -206,7 +249,6 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 	}
 	buildCtx, cancelBuild := context.WithCancel(context.Background())
 	s := &Service{
-		g:           g,
 		opts:        opts,
 		jobs:        make(chan *serviceJob, opts.QueueDepth),
 		buildCtx:    buildCtx,
@@ -215,11 +257,67 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		inflight:    make(map[cacheKey]*flight),
 		cache:       newResultCache(opts.CacheSize),
 	}
+	s.state.Store(&graphState{g: g, epoch: 1})
 	for w := 0; w < opts.Workers; w++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// ServeDynamic starts a query service over d's current snapshot and
+// subscribes to it: every d.Publish() after a mutation batch installs the
+// fresh snapshot via Update, so the service keeps answering — exactly —
+// on the live graph with zero index maintenance. The subscription is
+// detached by Close. The usual DynamicGraph rule applies: mutate and
+// Publish from one goroutine.
+func ServeDynamic(d *DynamicGraph, opts ServiceOptions) (*Service, error) {
+	if d == nil {
+		return nil, errors.New("exactsim: nil dynamic graph")
+	}
+	s, err := NewService(d.Snapshot(), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.unsubscribe = d.Subscribe(func(g *Graph) { s.Update(g) })
+	return s, nil
+}
+
+// Update installs g as the next graph generation and returns its epoch.
+// In-flight queries finish consistently on the epoch they started with;
+// new queries see g immediately. Stale-epoch cache entries are evicted
+// and stale completed queriers dropped (in-flight builds keep running for
+// the queries already waiting on them). Update on a closed service
+// returns CodeClosed.
+func (s *Service) Update(g *Graph) (uint64, error) {
+	if g == nil {
+		return 0, Errorf(CodeInvalidArgument, "exactsim: nil graph")
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return 0, ToError(ErrServiceClosed)
+	}
+	s.updateMu.Lock()
+	st := &graphState{g: g, epoch: s.state.Load().epoch + 1}
+	s.state.Store(st)
+	s.updateMu.Unlock()
+	s.closeMu.RUnlock()
+
+	// Epochs never repeat, so a stale key can never be looked up again:
+	// dropping the entries only reclaims memory. Slots mid-build are
+	// removed from the map too — their waiters hold the slot pointer and
+	// finish on their own epoch; the build's failure-path delete becomes
+	// a no-op.
+	s.querierMu.Lock()
+	for k := range s.queriers {
+		if k.epoch < st.epoch {
+			delete(s.queriers, k)
+		}
+	}
+	s.querierMu.Unlock()
+	s.cache.evictIf(func(k cacheKey) bool { return k.epoch < st.epoch })
+	return st.epoch, nil
 }
 
 // Query answers one request, blocking until a worker finishes it or ctx
@@ -228,6 +326,11 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 // even a single long-running ExactSim query mid-computation.
 func (s *Service) Query(ctx context.Context, req Request) Response {
 	resp := s.query(ctx, req)
+	s.count(resp)
+	return resp
+}
+
+func (s *Service) count(resp Response) {
 	s.queries.Add(1)
 	if resp.CacheHit {
 		s.cacheHits.Add(1)
@@ -235,7 +338,6 @@ func (s *Service) Query(ctx context.Context, req Request) Response {
 	if resp.Err != nil {
 		s.errors.Add(1)
 	}
-	return resp
 }
 
 func (s *Service) query(ctx context.Context, req Request) Response {
@@ -244,41 +346,47 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 	s.closeMu.RLock()
 	closed := s.closed
 	s.closeMu.RUnlock()
+	st := s.state.Load()
 	if closed {
-		return Response{Request: req, Err: ErrServiceClosed}
+		return s.fail(st, req, ToError(ErrServiceClosed))
 	}
 	if req.Algorithm == "" {
 		req.Algorithm = s.opts.DefaultAlgorithm
 	}
 	if !KnownAlgorithm(req.Algorithm) {
-		return Response{Request: req, Err: fmt.Errorf(
-			"exactsim: unknown algorithm %q (have %v)", req.Algorithm, Algorithms())}
+		return s.fail(st, req, Errorf(CodeNotFound,
+			"exactsim: unknown algorithm %q (have %v)", req.Algorithm, Algorithms()))
 	}
-	if req.Source < 0 || int(req.Source) >= s.g.N() {
-		return Response{Request: req, Err: fmt.Errorf(
-			"exactsim: source %d out of range [0,%d)", req.Source, s.g.N())}
+	if req.K < 0 {
+		return s.fail(st, req, Errorf(CodeInvalidArgument, "exactsim: negative k %d", req.K))
+	}
+	if req.Source < 0 || int(req.Source) >= st.g.N() {
+		return s.fail(st, req, Errorf(CodeInvalidArgument,
+			"exactsim: source %d out of range [0,%d)", req.Source, st.g.N()))
 	}
 	// Epsilon is part of the querier and cache keys, so screen it here:
 	// a NaN key would never match itself and leak a querier slot per
 	// request (0 is the "service default" sentinel).
 	if math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) ||
 		req.Epsilon < 0 || req.Epsilon >= 1 {
-		return Response{Request: req, Err: fmt.Errorf(
-			"exactsim: epsilon %g outside (0,1) (0 = service default)", req.Epsilon)}
+		return s.fail(st, req, Errorf(CodeInvalidArgument,
+			"exactsim: epsilon %g outside (0,1) (0 = service default)", req.Epsilon))
 	}
 
 	if req.NoCache {
-		return s.dispatch(ctx, req)
+		return s.dispatch(ctx, st, req)
 	}
 
 	// Cacheable path: cache lookup, then request-level single-flight —
 	// concurrent queries for the same cold key elect one leader to
 	// compute; the rest wait on its flight (or their own context) instead
-	// of duplicating the work across the pool.
-	key := cacheKey{algorithm: req.Algorithm, source: req.Source, epsilon: req.Epsilon}
+	// of duplicating the work across the pool. The key carries st.epoch,
+	// so requests racing an Update dedupe only within their generation.
+	key := cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
+		source: req.Source, epsilon: req.Epsilon}
 	for {
 		if res, ok := s.cache.get(key); ok {
-			return s.respond(req, res, true)
+			return s.respond(st, req, res, true)
 		}
 		s.flightMu.Lock()
 		if f, ok := s.inflight[key]; ok {
@@ -288,20 +396,20 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 				if f.resp.Err == nil && f.resp.Result != nil {
 					// Served by the leader's computation: a hit as far as
 					// this request is concerned.
-					return s.respond(req, f.resp.Result, true)
+					return s.respond(st, req, f.resp.Result, true)
 				}
 				// The leader failed (its deadline, a build error): its
 				// error is not ours — loop and retry, perhaps as leader.
 				continue
 			case <-ctx.Done():
-				return Response{Request: req, Err: ctx.Err()}
+				return s.fail(st, req, ToError(ctx.Err()))
 			}
 		}
 		f := &flight{done: make(chan struct{})}
 		s.inflight[key] = f
 		s.flightMu.Unlock()
 
-		resp := s.dispatch(ctx, req)
+		resp := s.dispatch(ctx, st, req)
 
 		f.resp = resp
 		s.flightMu.Lock()
@@ -314,25 +422,25 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 
 // dispatch queues one request on the worker pool and waits for its
 // response under ctx (tightened by DefaultTimeout).
-func (s *Service) dispatch(ctx context.Context, req Request) Response {
+func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Response {
 	if s.opts.DefaultTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultTimeout)
 		defer cancel()
 	}
 
-	job := &serviceJob{ctx: ctx, req: req, resp: make(chan Response, 1)}
+	job := &serviceJob{ctx: ctx, st: st, req: req, resp: make(chan Response, 1)}
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		return Response{Request: req, Err: ErrServiceClosed}
+		return s.fail(st, req, ToError(ErrServiceClosed))
 	}
 	select {
 	case s.jobs <- job:
 		s.closeMu.RUnlock()
 	case <-ctx.Done():
 		s.closeMu.RUnlock()
-		return Response{Request: req, Err: ctx.Err()}
+		return s.fail(st, req, ToError(ctx.Err()))
 	}
 
 	select {
@@ -341,85 +449,128 @@ func (s *Service) dispatch(ctx context.Context, req Request) Response {
 	case <-ctx.Done():
 		// The worker that picks the job up will see the dead context and
 		// drop it without computing.
-		return Response{Request: req, Err: ctx.Err()}
+		return s.fail(st, req, ToError(ctx.Err()))
 	}
 }
 
 // Batch answers many requests concurrently through the worker pool and
 // returns responses in request order. Each response carries its own Err;
-// Batch itself only fails fast on a closed service. Submission is bounded
-// by Workers+QueueDepth in-flight goroutines — exactly what the pool can
-// hold — so a million-request batch does not allocate a million stacks
-// up front.
+// Batch itself only fails fast on a closed service or a dead context.
+// Submission is bounded by Workers+QueueDepth in-flight goroutines —
+// exactly what the pool can hold — and stops as soon as ctx ends: the
+// remaining requests are answered in place with the context's error code
+// instead of each paying a goroutine to discover it.
 func (s *Service) Batch(ctx context.Context, reqs []Request) []Response {
 	out := make([]Response, len(reqs))
 	sem := make(chan struct{}, s.opts.Workers+s.opts.QueueDepth)
 	var wg sync.WaitGroup
-	for i, req := range reqs {
-		sem <- struct{}{}
+	for i := 0; i < len(reqs); i++ {
+		// The explicit Err check makes a pre-cancelled context
+		// deterministic (select would pick randomly between the two ready
+		// cases and sometimes spawn one more goroutine).
+		if ctx.Err() != nil {
+			s.failRemaining(ctx, reqs, out, i)
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			s.failRemaining(ctx, reqs, out, i)
+			wg.Wait()
+			return out
+		}
 		wg.Add(1)
 		go func(i int, req Request) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			out[i] = s.Query(ctx, req)
-		}(i, req)
+		}(i, reqs[i])
 	}
 	wg.Wait()
 	return out
+}
+
+// failRemaining answers reqs[from:] with ctx's error, keeping the
+// counters consistent with the path where each would have gone through
+// Query.
+func (s *Service) failRemaining(ctx context.Context, reqs []Request, out []Response, from int) {
+	st := s.state.Load()
+	cerr := ToError(ctx.Err())
+	for j := from; j < len(reqs); j++ {
+		out[j] = Response{Request: reqs[j], GraphEpoch: st.epoch, Err: cerr}
+		s.count(out[j])
+	}
 }
 
 func (s *Service) worker() {
 	defer s.workers.Done()
 	for job := range s.jobs {
 		if err := job.ctx.Err(); err != nil {
-			job.resp <- Response{Request: job.req, Err: err}
+			job.resp <- s.fail(job.st, job.req, ToError(err))
 			continue
 		}
-		job.resp <- s.execute(job.ctx, job.req)
+		s.inFlight.Add(1)
+		job.resp <- s.execute(job.ctx, job.st, job.req)
+		s.inFlight.Add(-1)
 	}
 }
 
-func (s *Service) execute(ctx context.Context, req Request) Response {
-	q, err := s.querier(ctx, req.Algorithm, req.Epsilon)
+func (s *Service) execute(ctx context.Context, st *graphState, req Request) Response {
+	q, err := s.querier(ctx, st, req.Algorithm, req.Epsilon)
 	if err != nil {
-		return Response{Request: req, Err: err}
+		return s.fail(st, req, ToError(err))
 	}
 	res, err := q.SingleSource(ctx, req.Source)
 	if err != nil {
-		return Response{Request: req, Err: err}
+		return s.fail(st, req, ToError(err))
 	}
+	// Fill the cache under this query's epoch — unless the world moved
+	// on mid-computation, in which case the entry could never be hit
+	// again (epochs never repeat) and would only squat in the LRU. The
+	// re-check after put closes the race with a concurrent Update whose
+	// evictIf ran between our epoch check and the insert.
 	if !req.NoCache {
-		s.cache.put(cacheKey{algorithm: req.Algorithm, source: req.Source,
-			epsilon: req.Epsilon}, res)
+		key := cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
+			source: req.Source, epsilon: req.Epsilon}
+		if s.state.Load().epoch == st.epoch {
+			s.cache.put(key, res)
+			if s.state.Load().epoch != st.epoch {
+				s.cache.remove(key)
+			}
+		}
 	}
-	return s.respond(req, res, false)
+	return s.respond(st, req, res, false)
 }
 
-func (s *Service) respond(req Request, res *QueryResult, hit bool) Response {
-	resp := Response{Request: req, Result: res, CacheHit: hit}
+func (s *Service) respond(st *graphState, req Request, res *QueryResult, hit bool) Response {
+	resp := Response{Request: req, Result: res, CacheHit: hit, GraphEpoch: st.epoch}
 	if req.K > 0 {
 		resp.TopK = TopKOf(res.Scores, req.K, req.Source)
 	}
 	return resp
 }
 
-// querier returns the shared querier for (algorithm, ε). The first
-// request for a key spawns a single-flight build under the service's
-// lifetime context — deliberately NOT the request's: a short per-request
-// deadline must not abort (and so force endless retries of) an index
-// build that later requests need. Waiters block on the build under their
-// own ctx, so a worker is released at its request's deadline even while
-// the build continues. A failed build removes the slot, so a later
-// request can retry it.
-func (s *Service) querier(ctx context.Context, algorithm string, epsilon float64) (Querier, error) {
-	key := querierKey{algorithm: algorithm, epsilon: epsilon}
+func (s *Service) fail(st *graphState, req Request, err *Error) Response {
+	return Response{Request: req, GraphEpoch: st.epoch, Err: err}
+}
+
+// querier returns the shared querier for (st.epoch, algorithm, ε). The
+// first request for a key spawns a single-flight build under the
+// service's lifetime context — deliberately NOT the request's: a short
+// per-request deadline must not abort (and so force endless retries of)
+// an index build that later requests need. Waiters block on the build
+// under their own ctx, so a worker is released at its request's deadline
+// even while the build continues. A failed build removes the slot, so a
+// later request can retry it.
+func (s *Service) querier(ctx context.Context, st *graphState, algorithm string, epsilon float64) (Querier, error) {
+	key := querierKey{epoch: st.epoch, algorithm: algorithm, epsilon: epsilon}
 	s.querierMu.Lock()
 	slot, ok := s.queriers[key]
 	if !ok {
 		slot = &querierSlot{done: make(chan struct{})}
 		s.queriers[key] = slot
 		s.evictQueriersLocked()
-		go s.build(key, slot, algorithm, epsilon)
+		go s.build(key, slot, st.g, algorithm, epsilon)
 	}
 	s.querierSeq++
 	slot.seq = s.querierSeq
@@ -433,14 +584,16 @@ func (s *Service) querier(ctx context.Context, algorithm string, epsilon float64
 	}
 }
 
-// build constructs one querier and publishes it on the slot. On failure
-// the slot is removed from the map so the next request retries.
-func (s *Service) build(key querierKey, slot *querierSlot, algorithm string, epsilon float64) {
+// build constructs one querier over g (the key's epoch snapshot) and
+// publishes it on the slot. On failure the slot is removed from the map
+// so the next request retries; after an Update the delete is a no-op
+// (Update already dropped the stale key).
+func (s *Service) build(key querierKey, slot *querierSlot, g *Graph, algorithm string, epsilon float64) {
 	opts := append([]QuerierOption(nil), s.opts.QuerierOptions...)
 	if epsilon != 0 {
 		opts = append(opts, WithEpsilon(epsilon))
 	}
-	q, err := NewQuerierCtx(s.buildCtx, algorithm, s.g, opts...)
+	q, err := NewQuerierCtx(s.buildCtx, algorithm, g, opts...)
 	if err != nil {
 		s.querierMu.Lock()
 		delete(s.queriers, key)
@@ -448,6 +601,18 @@ func (s *Service) build(key querierKey, slot *querierSlot, algorithm string, eps
 		slot.err = err
 	} else {
 		slot.q = q
+		// A queued query that captured its graphState before an Update
+		// can (re-)insert a stale-epoch key after Update's purge already
+		// ran; without this check the old-graph index it built would be
+		// retained (unreachable — epochs never repeat) until the next
+		// Update. Waiters hold the slot pointer, so dropping the map
+		// entry is safe in every interleaving: Update-then-build deletes
+		// here, build-then-Update deletes in Update.
+		if key.epoch < s.state.Load().epoch {
+			s.querierMu.Lock()
+			delete(s.queriers, key)
+			s.querierMu.Unlock()
+		}
 	}
 	close(slot.done)
 }
@@ -479,22 +644,37 @@ func (s *Service) evictQueriersLocked() {
 	}
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters and gauges.
 func (s *Service) Stats() ServiceStats {
+	s.querierMu.Lock()
+	queriers := len(s.queriers)
+	s.querierMu.Unlock()
 	return ServiceStats{
 		Queries:       s.queries.Load(),
 		CacheHits:     s.cacheHits.Load(),
 		Errors:        s.errors.Load(),
 		CachedResults: s.cache.len(),
+		QueueDepth:    len(s.jobs),
+		InFlight:      int(s.inFlight.Load()),
+		Queriers:      queriers,
+		GraphEpoch:    s.state.Load().epoch,
 	}
 }
 
-// Graph returns the graph the service answers over.
-func (s *Service) Graph() *Graph { return s.g }
+// Graph returns the current graph generation's snapshot.
+func (s *Service) Graph() *Graph { return s.state.Load().g }
 
-// Close stops the workers, aborts in-flight index builds and rejects
-// further queries. It blocks until in-flight queries finish; Close is
-// idempotent.
+// Epoch returns the current graph epoch (starts at 1, incremented by
+// every Update).
+func (s *Service) Epoch() uint64 { return s.state.Load().epoch }
+
+// DefaultAlgorithm returns the algorithm answering requests with an empty
+// Algorithm field.
+func (s *Service) DefaultAlgorithm() string { return s.opts.DefaultAlgorithm }
+
+// Close stops the workers, detaches any ServeDynamic subscription, aborts
+// in-flight index builds and rejects further queries. It blocks until
+// in-flight queries finish; Close is idempotent.
 func (s *Service) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -504,6 +684,9 @@ func (s *Service) Close() {
 	s.closed = true
 	close(s.jobs)
 	s.closeMu.Unlock()
+	if s.unsubscribe != nil {
+		s.unsubscribe()
+	}
 	s.cancelBuild()
 	s.workers.Wait()
 }

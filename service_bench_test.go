@@ -1,0 +1,78 @@
+package exactsim_test
+
+import (
+	"context"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// BenchmarkServiceThroughput measures queries/sec through the Service
+// front-end under concurrent load on a warmed cache — the serving
+// overhead (dispatch, single-flight, LRU, epoch bookkeeping) rather than
+// algorithm time, which is what a load balancer provisioning instances
+// needs. Paired with BenchmarkHTTPLoopbackQuery in httpapi, the delta is
+// the wire cost.
+func BenchmarkServiceThroughput(b *testing.B) {
+	g := exactsim.GenerateBarabasiAlbert(2000, 4, 1)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		CacheSize:      256,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.05), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	// Warm the 64 sources the benchmark rotates over, so the steady state
+	// is cache-hit serving.
+	for s := 0; s < 64; s++ {
+		if resp := svc.Query(ctx, exactsim.Request{Source: exactsim.NodeID(s)}); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp := svc.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i & 63), K: 10})
+			if resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServiceThroughputCold measures the uncached path: every query
+// recomputes (NoCache), bounded by the worker pool. This is the
+// compute-bound ceiling the cache-hit number should be contrasted with.
+func BenchmarkServiceThroughputCold(b *testing.B) {
+	g := exactsim.GenerateBarabasiAlbert(2000, 4, 1)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	// Build the querier outside the timer.
+	if resp := svc.Query(ctx, exactsim.Request{Source: 0}); resp.Err != nil {
+		b.Fatal(resp.Err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			resp := svc.Query(ctx, exactsim.Request{
+				Source: exactsim.NodeID(i % g.N()), NoCache: true,
+			})
+			if resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+			i++
+		}
+	})
+}

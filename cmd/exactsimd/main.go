@@ -12,9 +12,14 @@
 // Then:
 //
 //	curl -s localhost:8640/v1/query -d '{"algorithm":"exactsim","source":42,"k":5}'
+//	curl -s localhost:8640/v1/warm -d '{"top_degree":64}'
 //	curl -s localhost:8640/v1/algorithms
 //	curl -s localhost:8640/v1/stats
 //	curl -s localhost:8640/healthz
+//
+// -warm N pre-computes the N highest in-degree sources before serving, so
+// the diagonal sample index (see -diag-index-mb) starts hot and first-query
+// latency drops.
 //
 // SIGINT/SIGTERM drain in-flight requests (5 s grace) before exiting.
 package main
@@ -57,6 +62,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query deadline (0 = none)")
 		maxTimeout  = flag.Duration("max-timeout", 0, "clamp on client-requested timeouts (0 = none)")
 		maxBatch    = flag.Int("max-batch", 4096, "per-call /v1/batch request bound")
+		diagIndexMB = flag.Int64("diag-index-mb", 128, "diagonal sample index budget in MiB (negative disables)")
+		warm        = flag.Int("warm", 0, "pre-warm this many top in-degree sources before serving (0 = none)")
 	)
 	flag.Parse()
 
@@ -70,6 +77,10 @@ func main() {
 		qopts = append(qopts, exactsim.WithEpsilon(*eps))
 	}
 	qopts = append(qopts, exactsim.WithSeed(*seed))
+	diagBytes := *diagIndexMB << 20
+	if *diagIndexMB < 0 {
+		diagBytes = -1
+	}
 	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -77,12 +88,25 @@ func main() {
 		MaxQueriers:      *maxQueriers,
 		DefaultAlgorithm: *algorithm,
 		DefaultTimeout:   *timeout,
+		DiagIndexBytes:   diagBytes,
 		QuerierOptions:   qopts,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close()
+
+	if *warm > 0 {
+		start := time.Now()
+		wr := svc.Warm(context.Background(), exactsim.WarmRequest{TopDegree: *warm})
+		if wr.Err != nil {
+			log.Fatalf("exactsimd: warm: %v", wr.Err)
+		}
+		st := svc.Stats()
+		log.Printf("exactsimd: warmed %d sources in %v (%d failed) — %d diag chunks resident (%d KiB)",
+			wr.Warmed, time.Since(start).Round(time.Millisecond), wr.Failed,
+			st.DiagChunks, st.DiagResidentBytes>>10)
+	}
 
 	api := httpapi.NewServer(svc, httpapi.ServerOptions{
 		MaxBatch:   *maxBatch,
@@ -110,8 +134,8 @@ func main() {
 		log.Printf("exactsimd: shutdown: %v", err)
 	}
 	st := svc.Stats()
-	log.Printf("exactsimd: served %d queries (%d cache hits, %d errors)",
-		st.Queries, st.CacheHits, st.Errors)
+	log.Printf("exactsimd: served %d queries (%d cache hits, %d errors, diag hit rate %.0f%%)",
+		st.Queries, st.CacheHits, st.Errors, 100*st.DiagHitRate)
 }
 
 // loadGraph resolves the graph flags: an explicit file beats a dataset

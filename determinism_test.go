@@ -62,6 +62,73 @@ func TestSeedDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestSeedDeterminismDiagIndex extends the conformance suite to the shared
+// diagonal sample index: with an index attached, a query's answer must be
+// bit-identical whether the index is cold or pre-warmed by other queries,
+// and across worker counts — chunk streams are node-keyed and merges are
+// integer-exact, so a cache hit returns precisely what sampling would.
+func TestSeedDeterminismDiagIndex(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(1200, 4, 7)
+	newEngine := func(optimized bool, workers int, ix *exactsim.DiagSampleIndex) *exactsim.Engine {
+		eng, err := exactsim.New(g, exactsim.Options{
+			Epsilon:      1e-2,
+			Optimized:    optimized,
+			Workers:      workers,
+			Seed:         99,
+			SampleFactor: 0.05,
+			DiagIndex:    ix,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	for _, optimized := range []bool{false, true} {
+		name := "basic"
+		if optimized {
+			name = "optimized"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Cold reference: fresh index, one query, one worker.
+			cold, err := newEngine(optimized, 1, exactsim.NewDiagSampleIndex(0)).SingleSource(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm path: a fresh index populated by two *other* sources
+			// first (node 0's chunk cells partially overlap theirs), then
+			// the same query at a different worker count.
+			warmIx := exactsim.NewDiagSampleIndex(0)
+			warmEng := newEngine(optimized, 8, warmIx)
+			if _, err := warmEng.SingleSource(600); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warmEng.SingleSource(1111); err != nil {
+				t.Fatal(err)
+			}
+			warm, err := warmEng.SingleSource(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range cold.Scores {
+				if math.Float64bits(cold.Scores[j]) != math.Float64bits(warm.Scores[j]) {
+					t.Fatalf("cold vs warm index diverged at %d: %x vs %x", j,
+						math.Float64bits(cold.Scores[j]), math.Float64bits(warm.Scores[j]))
+				}
+			}
+			// Repeat on the warm index: pure cache hits, same bits.
+			again, err := warmEng.SingleSource(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range cold.Scores {
+				if math.Float64bits(cold.Scores[j]) != math.Float64bits(again.Scores[j]) {
+					t.Fatalf("warm repeat diverged at %d", j)
+				}
+			}
+		})
+	}
+}
+
 // TestSeedDeterminismRepeatedQueries pins the other half of the contract:
 // the same engine answering the same query twice — with pooled scratch
 // reused in between — must return the identical vector (a dirty pooled

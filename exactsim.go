@@ -54,6 +54,7 @@ import (
 	"github.com/exactsim/exactsim/internal/algo"
 	"github.com/exactsim/exactsim/internal/core"
 	"github.com/exactsim/exactsim/internal/dataset"
+	"github.com/exactsim/exactsim/internal/diag"
 	"github.com/exactsim/exactsim/internal/eval"
 	"github.com/exactsim/exactsim/internal/gen"
 	"github.com/exactsim/exactsim/internal/graph"
@@ -98,6 +99,13 @@ type (
 	QuerierIndex = algo.Index
 	// QuerierOption customizes NewQuerier (see the With... constructors).
 	QuerierOption = algo.Option
+	// DiagSampleIndex is a shared cache of ExactSim's diagonal-phase
+	// sample chunks and exploration results; attach one with
+	// WithDiagIndex to amortize the Diagonal phase across queries
+	// (a Service does this automatically, one index per graph epoch).
+	DiagSampleIndex = diag.SampleIndex
+	// DiagIndexStats is a DiagSampleIndex gauge snapshot.
+	DiagIndexStats = diag.IndexStats
 )
 
 // Algorithms returns the registry names accepted by NewQuerier: exactsim,
@@ -159,6 +167,17 @@ func WithoutPiSquaredSampling() QuerierOption { return algo.WithoutPiSquaredSamp
 
 // WithoutLocalExploit disables ExactSim's Algorithm-3 phase (ablation).
 func WithoutLocalExploit() QuerierOption { return algo.WithoutLocalExploit() }
+
+// NewDiagSampleIndex returns an empty diagonal sample index with the given
+// memory budget in bytes (0 selects the 128 MiB default).
+func NewDiagSampleIndex(budgetBytes int64) *DiagSampleIndex {
+	return diag.NewSampleIndex(budgetBytes)
+}
+
+// WithDiagIndex attaches a shared diagonal sample index to ExactSim
+// queriers; every querier sharing the index must agree on graph, decay
+// factor and seed (mismatches bypass it).
+func WithDiagIndex(ix *DiagSampleIndex) QuerierOption { return algo.WithDiagIndex(ix) }
 
 // ExactSim types.
 type (

@@ -151,6 +151,27 @@ func (c *Client) Batch(ctx context.Context, reqs []exactsim.Request) ([]exactsim
 	return out.Responses, nil
 }
 
+// Warm asks the server to pre-compute sources (or its top in-degree hubs
+// when the request names none), filling the remote result cache and
+// diagonal sample index; see exactsim.Service.Warm. The returned error
+// covers transport failures; a wholesale protocol rejection arrives in
+// WarmResponse.Err.
+func (c *Client) Warm(ctx context.Context, wr exactsim.WarmRequest) (exactsim.WarmResponse, error) {
+	req := WarmRequest{WarmRequest: wr, TimeoutMillis: timeoutMillis(ctx)}
+	var resp exactsim.WarmResponse
+	if err := c.post(ctx, "/v1/warm", req, &resp); err != nil {
+		var pe *exactsim.Error
+		if errors.As(err, &pe) {
+			if resp.Err == nil {
+				resp.Err = pe
+			}
+			return resp, nil
+		}
+		return exactsim.WarmResponse{}, err
+	}
+	return resp, nil
+}
+
 // Algorithms returns the server's registry names and default algorithm.
 func (c *Client) Algorithms(ctx context.Context) (names []string, def string, err error) {
 	var ar AlgorithmsResponse

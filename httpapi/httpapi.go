@@ -11,8 +11,11 @@
 //
 //	POST /v1/query       one Request (+ optional timeout_ms) → Response
 //	POST /v1/batch       {"requests": [...]} → {"responses": [...]}
+//	POST /v1/warm        WarmRequest → WarmResponse (pre-compute sources,
+//	                     fill the result cache + diagonal sample index)
 //	GET  /v1/algorithms  registry names + the service default
-//	GET  /v1/stats       ServiceStats (counters + load-balancer gauges)
+//	GET  /v1/stats       ServiceStats (counters + load-balancer gauges,
+//	                     including the diagonal-index hit/resident gauges)
 //	GET  /healthz        liveness probe
 //
 // A client-requested timeout_ms becomes a server-side context deadline,
@@ -50,6 +53,13 @@ type BatchRequest struct {
 // with the submitted Requests by index.
 type BatchResponse struct {
 	Responses []exactsim.Response `json:"responses"`
+}
+
+// WarmRequest is the body of POST /v1/warm: an exactsim.WarmRequest plus
+// the transport-only timeout bounding the whole warming pass.
+type WarmRequest struct {
+	exactsim.WarmRequest
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // AlgorithmsResponse is the body answering GET /v1/algorithms.

@@ -50,6 +50,7 @@ func NewServer(svc *exactsim.Service, opts ServerOptions) *Server {
 	s := &Server{svc: svc, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -92,6 +93,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Per-request failures live inside each Response; the batch call
 	// itself is a 200.
 	writeJSON(w, http.StatusOK, BatchResponse{Responses: s.svc.Batch(ctx, br.Requests)})
+}
+
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var wr WarmRequest
+	if e := s.decode(w, r, &wr); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.WarmResponse{Err: e})
+		return
+	}
+	// MaxBatch bounds the warm fan-out the same way it bounds batch
+	// requests — warming is a batch in disguise. The effective fan-out
+	// mirrors Service.Warm's source resolution: explicit Sources win,
+	// otherwise TopDegree, otherwise the service's default hub count.
+	if s.opts.MaxBatch > 0 {
+		fanout := len(wr.Sources)
+		if fanout == 0 {
+			fanout = wr.TopDegree
+			if fanout <= 0 {
+				fanout = exactsim.DefaultWarmTopDegree
+			}
+		}
+		if fanout > s.opts.MaxBatch {
+			e := exactsim.Errorf(exactsim.CodeInvalidArgument,
+				"httpapi: warm fan-out of %d sources exceeds the server bound %d", fanout, s.opts.MaxBatch)
+			writeJSON(w, StatusOf(e), exactsim.WarmResponse{Err: e})
+			return
+		}
+	}
+	ctx, cancel := s.requestContext(r.Context(), wr.TimeoutMillis)
+	defer cancel()
+	resp := s.svc.Warm(ctx, wr.WarmRequest)
+	writeJSON(w, StatusOf(resp.Err), resp)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {

@@ -289,6 +289,91 @@ func TestHTTPAlgorithmsStatsHealth(t *testing.T) {
 }
 
 // TestClientBadBase: constructor validation.
+// TestHTTPWarm drives the prefetch endpoint over the wire: POST /v1/warm
+// pre-computes hub sources, the diag-index gauges show up in /v1/stats
+// afterwards, and the server bounds an explicit source list by MaxBatch.
+func TestHTTPWarm(t *testing.T) {
+	_, ts, c := loopback(t, exactsim.ServiceOptions{Workers: 2},
+		httpapi.ServerOptions{MaxBatch: 4})
+
+	wr, err := c.Warm(context.Background(), exactsim.WarmRequest{TopDegree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Err != nil || wr.Warmed != 3 || wr.Failed != 0 || wr.GraphEpoch != 1 {
+		t.Fatalf("warm: %+v", wr)
+	}
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.DiagIndexEnabled || st.DiagChunks == 0 || st.DiagResidentBytes <= 0 {
+		t.Fatalf("diag gauges missing over the wire: %+v", st)
+	}
+
+	// Explicit sources work, and failures are per-source counts.
+	wr, err = c.Warm(context.Background(), exactsim.WarmRequest{
+		Sources: []exactsim.NodeID{1, 2, 9999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Warmed != 2 || wr.Failed != 1 {
+		t.Fatalf("explicit sources: %+v", wr)
+	}
+
+	// An oversized source list — or hub count — is rejected wholesale
+	// with the batch bound.
+	wr, err = c.Warm(context.Background(), exactsim.WarmRequest{
+		Sources: []exactsim.NodeID{0, 1, 2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Err == nil || wr.Err.Code != exactsim.CodeInvalidArgument {
+		t.Fatalf("oversized warm list: %+v", wr)
+	}
+	wr, err = c.Warm(context.Background(), exactsim.WarmRequest{TopDegree: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Err == nil || wr.Err.Code != exactsim.CodeInvalidArgument {
+		t.Fatalf("oversized top_degree: %+v", wr)
+	}
+	// An empty request implies the service's default hub fan-out (32),
+	// which this server's MaxBatch=4 must also bound.
+	wr, err = c.Warm(context.Background(), exactsim.WarmRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Err == nil || wr.Err.Code != exactsim.CodeInvalidArgument {
+		t.Fatalf("default fan-out over bound: %+v", wr)
+	}
+	// TopDegree is irrelevant (and unchecked) when Sources are explicit —
+	// the service ignores it, so the bound must too.
+	wr, err = c.Warm(context.Background(), exactsim.WarmRequest{
+		Sources: []exactsim.NodeID{1, 2}, TopDegree: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Err != nil || wr.Warmed != 2 {
+		t.Fatalf("explicit sources with stray top_degree: %+v", wr)
+	}
+
+	// A bad request body answers 400 with the protocol envelope.
+	res, err := http.Post(ts.URL+"/v1/warm", "application/json",
+		strings.NewReader(`{"top_degree": -1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative top_degree answered %s", res.Status)
+	}
+}
+
 func TestClientBadBase(t *testing.T) {
 	if _, err := httpapi.NewClient("not a url"); err == nil {
 		t.Fatal("garbage base URL accepted")

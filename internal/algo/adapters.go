@@ -99,6 +99,7 @@ func newExactSim(optimized bool) Factory {
 			MaxExploreEdges:     cfg.MaxExploreEdges,
 			NoPiSquaredSampling: cfg.NoPiSquaredSampling,
 			NoLocalExploit:      cfg.NoLocalExploit,
+			DiagIndex:           cfg.DiagIndex,
 		})
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/exactsim/exactsim/internal/core"
+	"github.com/exactsim/exactsim/internal/diag"
 )
 
 // DefaultEpsilon is the registry's default additive-error target. It is a
@@ -52,6 +53,10 @@ type Config struct {
 	// switches (harness Figure 9 / ablation-extra).
 	NoPiSquaredSampling bool
 	NoLocalExploit      bool
+	// DiagIndex shares ExactSim's diagonal sample chunks across queries
+	// and queriers (see core.Options.DiagIndex). Ignored by the other
+	// algorithms.
+	DiagIndex *diag.SampleIndex
 }
 
 // MC's default (L, r); shared by defaults() and the mc adapter's
@@ -179,4 +184,12 @@ func WithoutPiSquaredSampling() Option {
 // exploitation (ablation).
 func WithoutLocalExploit() Option {
 	return func(cfg *Config) { cfg.NoLocalExploit = true }
+}
+
+// WithDiagIndex attaches a shared diagonal sample index to ExactSim
+// queriers (both the Optimized and Basic variants); other algorithms
+// ignore it. All queriers sharing one index must agree on graph, decay
+// factor and seed — mismatched queriers fall back to uncached sampling.
+func WithDiagIndex(ix *diag.SampleIndex) Option {
+	return func(cfg *Config) { cfg.DiagIndex = ix }
 }

@@ -86,6 +86,19 @@ type Options struct {
 	// (keeping sparse vectors and π²-sampling; capped nodes lose their
 	// depth compensation, so accuracy degrades — that is the point).
 	NoLocalExploit bool
+	// DiagIndex, when non-nil, shares the Diagonal phase's sample chunks
+	// and exploration results across queries (and across engines bound to
+	// the same graph, decay and seed — a Service shares one per graph
+	// epoch). D(k,k) is a property of the graph, not of the query source,
+	// so on a serving workload the index turns the dominant phase's cost
+	// from per-query into per-epoch. With an index attached, per-node
+	// sample allowances are rounded up to the next power of two so that
+	// different sources land on identical (samples, depth, budget) cells
+	// for shared nodes — at most 2× extra walk pairs on a cold node, in
+	// exchange for near-total reuse on warm ones, and a strictly tighter
+	// variance than the unrounded allowance. Results remain bit-identical
+	// across worker counts, query order, and cache state (cold vs warm).
+	DiagIndex *diag.SampleIndex
 }
 
 func (o *Options) normalize() error {
@@ -272,6 +285,28 @@ func (e *Engine) capSamples(rTheory float64) int {
 	return int(rTheory)
 }
 
+// quantizeSamples rounds a theoretical sample count up to the next power of
+// two when a DiagIndex is attached. Sample allowances derive from π_i(k),
+// which varies continuously with the source i — unquantized, two queries
+// would almost never agree on R(k) for a shared node k, and the index would
+// cache streams nobody revisits. Quantizing collapses the allowances into
+// octaves: per node only a handful of distinct (samples, depth, budget)
+// cells ever occur, each sampled once per epoch and reused thereafter.
+// Rounding up can only increase samples (and, for capped nodes, the
+// compensation depth), so the Lemma-3 variance target still holds. The
+// repeated doubling is exact in float64 far past any representable count,
+// making the quantized value a pure function of its input on every path.
+func (e *Engine) quantizeSamples(rTheory float64) float64 {
+	if e.opt.DiagIndex == nil {
+		return rTheory
+	}
+	p := 1.0
+	for p < rTheory {
+		p *= 2
+	}
+	return p
+}
+
 // singleSourceBasic is Algorithm 1 verbatim: dense hop vectors,
 // π-proportional sampling, Algorithm-2 D estimation.
 func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*Result, error) {
@@ -313,13 +348,13 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 		if pi[k] <= 0 {
 			continue
 		}
-		rk := e.capSamples(math.Ceil(R * pi[k]))
+		rk := e.capSamples(e.quantizeSamples(math.Ceil(R * pi[k])))
 		reqs = append(reqs, diag.Request{Node: int32(k), Samples: rk})
 		res.TotalSamples += int64(rk)
 	}
 	dvals, err := diag.BatchCtx(ctx, e.g, reqs, diag.Options{
 		C: c, Improved: false, Workers: e.opt.Workers, Seed: e.opt.Seed,
-		Pool: e.dPool,
+		Pool: e.dPool, Index: e.opt.DiagIndex,
 	})
 	if err != nil {
 		return nil, err
@@ -417,6 +452,7 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 		} else {
 			rTheory = math.Ceil(base * p * p)
 		}
+		rTheory = e.quantizeSamples(rTheory)
 		rk := e.capSamples(rTheory)
 		req := diag.Request{Node: k, Samples: rk}
 		if rTheory > float64(rk) && !e.opt.NoLocalExploit {
@@ -429,7 +465,7 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 	}
 	dvals, err := diag.BatchCtx(ctx, e.g, reqs, diag.Options{
 		C: c, Improved: !e.opt.NoLocalExploit, Workers: e.opt.Workers, Seed: e.opt.Seed,
-		Pool: e.dPool,
+		Pool: e.dPool, Index: e.opt.DiagIndex,
 	})
 	if err != nil {
 		return nil, err

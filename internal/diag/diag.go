@@ -19,9 +19,13 @@
 // (π²-sampling concentrates almost everything on the source), so
 // whole-request scheduling would leave one worker grinding the source while
 // the rest idle. Requests are cut into fixed-size sample chunks; each chunk
-// runs on its own RNG stream derived from (Seed, request, chunk), and chunk
+// runs on its own RNG stream derived from (Seed, node, chunk), and chunk
 // results are integer meet-counts, so the merge is exact and the output is
-// bit-identical at any worker count.
+// bit-identical at any worker count. Because the stream belongs to the
+// node rather than the request, chunk results are also reusable across
+// queries: SampleIndex caches them (and the deterministic exploration
+// results) so a serving workload pays each node's sampling once per graph
+// epoch instead of once per query.
 package diag
 
 import (
@@ -428,6 +432,13 @@ type Options struct {
 	// this. The pool's graph and decay must match; a mismatch falls back
 	// to fresh construction.
 	Pool *EstimatorPool
+	// Index, when non-nil, caches chunk meet counts and exploration
+	// results across Batch calls. It binds to the first (graph, C, Seed)
+	// triple that uses it; mismatched runs bypass it. Because chunk
+	// streams are keyed by node — not by request — cached and freshly
+	// sampled chunks are interchangeable bit for bit, so the index is a
+	// pure amortization layer: it changes nothing but the walking time.
+	Index *SampleIndex
 }
 
 // EstimatorPool recycles Estimators — and their O(n) accumulator and
@@ -458,12 +469,17 @@ func (p *EstimatorPool) put(e *Estimator) {
 	p.pool.Put(e)
 }
 
-// chunkSeed derives the RNG stream of one (request, chunk) cell. The two
-// odd multipliers decorrelate the lattice before rng.New's splitmix
-// finalizer; what matters for reproducibility is only that the value is a
-// pure function of (seed, request index, chunk index).
-func chunkSeed(seed uint64, req, chunk int) uint64 {
-	return seed ^ (0x9e3779b97f4a7c15 * uint64(req+1)) ^ (0xbf58476d1ce4e5b9 * uint64(chunk+1))
+// chunkSeed derives the RNG stream of one (node, chunk) cell. The two odd
+// multipliers decorrelate the lattice before rng.New's splitmix finalizer.
+// Keying on the node — not the request index — makes a chunk's stream a
+// source-independent property of the graph, which is what lets a
+// SampleIndex share chunk results across queries: any request that needs
+// chunk c of node k draws the identical stream. The flip side is that two
+// requests naming the same node in one Batch would draw correlated
+// (identical) streams — callers must not duplicate nodes, and none do
+// (core issues one request per touched node).
+func chunkSeed(seed uint64, node graph.NodeID, chunk int) uint64 {
+	return seed ^ (0x9e3779b97f4a7c15 * (uint64(node) + 1)) ^ (0xbf58476d1ce4e5b9 * uint64(chunk+1))
 }
 
 // reqPlan is Batch's per-request state between phases.
@@ -475,10 +491,11 @@ type reqPlan struct {
 }
 
 // Batch estimates D(k,k) for every request. Each sample chunk runs on its
-// own RNG stream derived from (Seed, request index, chunk index), so
-// results are bit-for-bit reproducible regardless of worker count or
-// scheduling — the property the paper's parallelization paragraph demands
-// of a ground-truth tool.
+// own RNG stream derived from (Seed, node, chunk index), so results are
+// bit-for-bit reproducible regardless of worker count, scheduling, or —
+// when Options.Index is set — cache hit pattern; the property the paper's
+// parallelization paragraph demands of a ground-truth tool. Requests must
+// name distinct nodes (see chunkSeed).
 func Batch(g *graph.Graph, reqs []Request, opt Options) []float64 {
 	out, _ := BatchCtx(context.Background(), g, reqs, opt)
 	return out
@@ -520,6 +537,10 @@ func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) 
 	pool := opt.Pool
 	if pool != nil && (pool.g != g || pool.c != opt.C) {
 		pool = nil
+	}
+	ix := opt.Index
+	if ix != nil && !ix.bind(g, opt.C, opt.Seed) {
+		ix = nil
 	}
 	ests := make([]*Estimator, workers)
 	for i := range ests {
@@ -590,7 +611,22 @@ func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) 
 				EdgeBudget:  req.EdgeBudget,
 			}
 			ip.normalize(opt.C)
+			// The exploration is a pure function of the normalized key, so
+			// a cached result is the bit-identical value recomputation
+			// would produce. A run cancelled mid-explore returns a
+			// truncated (lk, zSum) — never cached; the whole Batch output
+			// is discarded on cancellation anyway.
+			ek := exploreKey{node: req.Node, depth: int32(ip.TargetDepth), budget: ip.EdgeBudget}
+			if ix != nil {
+				if v, ok := ix.exploreResult(ek); ok {
+					p.lk, p.zSum = v.lk, v.zSum
+					return
+				}
+			}
 			p.lk, p.zSum = e.explore(req.Node, ip.EdgeBudget, ip.TargetDepth)
+			if ix != nil && !e.stopped() {
+				ix.putExplore(ek, exploreVal{lk: p.lk, zSum: p.zSum})
+			}
 		}
 	})
 	if err := ctx.Err(); err != nil {
@@ -621,12 +657,34 @@ func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) 
 	meets := make([]int64, len(chunks))
 	runParallel(len(chunks), func(e *Estimator, ci int) {
 		ch := chunks[ci]
-		e.Reseed(chunkSeed(opt.Seed, int(ch.req), int(ch.chunk)))
 		node := reqs[ch.req].Node
+		lk := plans[ch.req].lk // 0 in Algorithm-2 mode
+		// The key carries no Improved/Basic bit: at lk=0 the two modes
+		// draw the identical stream (a zero-length non-stop prefix
+		// consumes no RNG draws), so their chunk values are
+		// interchangeable and an index shared across exactsim and
+		// exactsim-basic queriers stays exact. TestTailMeetsZeroPrefixIsPairMeets
+		// pins that identity against drift in the walk engine.
+		key := chunkKey{node: node, lk: int32(lk), chunk: ch.chunk, size: ch.samples}
+		if ix != nil {
+			if m, ok := ix.chunkMeets(key); ok {
+				meets[ci] = m
+				return
+			}
+		}
+		e.Reseed(chunkSeed(opt.Seed, node, int(ch.chunk)))
+		var m int64
 		if opt.Improved {
-			meets[ci] = e.tailMeets(node, plans[ch.req].lk, int(ch.samples))
+			m = e.tailMeets(node, lk, int(ch.samples))
 		} else {
-			meets[ci] = e.pairMeets(node, int(ch.samples))
+			m = e.pairMeets(node, int(ch.samples))
+		}
+		meets[ci] = m
+		// A chunk interrupted mid-loop holds a partial count; the stop
+		// flag is monotone, so a false read here proves the loop ran to
+		// completion and the count is the chunk's true value.
+		if ix != nil && !e.stopped() {
+			ix.putChunk(key, m)
 		}
 	})
 	if err := ctx.Err(); err != nil {

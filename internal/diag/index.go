@@ -1,0 +1,258 @@
+package diag
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/exactsim/exactsim/internal/graph"
+)
+
+// DefaultIndexBytes is the SampleIndex memory budget selected by a zero
+// budget: generous enough that eviction never fires on graphs up to tens of
+// millions of touched (node, depth) cells, small next to the CSR arrays of
+// any graph large enough to produce that many.
+const DefaultIndexBytes = 128 << 20
+
+// Approximate resident cost of one index entry: key + value + map bucket
+// share + LRU list element. The constants deliberately overestimate — the
+// budget is a protection limit, not an accounting exercise.
+const (
+	chunkEntryBytes   = 120
+	exploreEntryBytes = 136
+)
+
+// chunkKey identifies one cached sample chunk. The sample stream of a chunk
+// is seeded by (index seed, node, chunk ordinal) — never by the request —
+// so the key is source-independent: any query that needs chunk `chunk` of
+// node `node` at tail depth `lk` draws the identical stream and therefore
+// owns the identical integer meet count. size is the walk-pair count of the
+// chunk (full chunks are chunkSamples; a request's tail chunk is smaller,
+// and two different tail lengths are two different keys).
+type chunkKey struct {
+	node  graph.NodeID
+	lk    int32
+	chunk int32
+	size  int32
+}
+
+// exploreKey identifies one cached deterministic exploration. explore is a
+// pure function of (graph, node, budget, maxDepth), so its output can be
+// reused by any query that normalizes to the same parameters.
+type exploreKey struct {
+	node   graph.NodeID
+	depth  int32
+	budget int64
+}
+
+// exploreVal is the cached output of one exploration.
+type exploreVal struct {
+	lk   int
+	zSum float64
+}
+
+// indexEntry is one LRU cell — either a chunk meet count or an explore
+// result (isExplore selects which key/value pair is live).
+type indexEntry struct {
+	isExplore bool
+	ck        chunkKey
+	ek        exploreKey
+	meets     int64
+	ev        exploreVal
+}
+
+// IndexStats is a point-in-time snapshot of a SampleIndex.
+type IndexStats struct {
+	// Hits / Misses count lookups (chunk and explore alike) since
+	// construction.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by the memory budget.
+	Evictions int64
+	// Chunks / Explores are the resident entry counts.
+	Chunks   int
+	Explores int
+	// ResidentBytes estimates the index's current footprint;
+	// BudgetBytes is the eviction threshold.
+	ResidentBytes int64
+	BudgetBytes   int64
+}
+
+// SampleIndex is a shared, graph-bound cache of the diagonal phase's two
+// expensive intermediates: integer walk-pair meet counts per fixed sample
+// chunk, and deterministic exploration results. D(k,k) depends only on the
+// graph — not on the query source — so a serving workload that pays the
+// Diagonal phase per query re-derives the same quantities endlessly; the
+// index amortizes them across queries.
+//
+// Reuse does not threaten exactness: a chunk's RNG stream is a pure
+// function of (seed, node, chunk ordinal), its result is an integer merged
+// exactly, and an exploration is deterministic — so a cached value is
+// bit-identical to what recomputation would produce, and a query's answer
+// is bit-identical regardless of query order, worker count, cache hit
+// pattern, or eviction history.
+//
+// An index binds to the first (graph, c, seed) triple that uses it;
+// mismatched callers bypass it (Batch falls back to uncached sampling),
+// so a stale index can serve wrong-graph chunks to no one. Eviction is a
+// chunk-granularity LRU under a byte budget. Safe for concurrent use.
+type SampleIndex struct {
+	mu sync.Mutex
+
+	// Binding: set by the first Batch that uses the index.
+	bound bool
+	g     *graph.Graph
+	c     float64
+	seed  uint64
+
+	budget   int64
+	resident int64
+
+	chunkEls   map[chunkKey]*list.Element
+	exploreEls map[exploreKey]*list.Element
+	ll         *list.List // front = most recently used, both entry kinds
+
+	hits      int64
+	misses    int64
+	evictions int64
+	chunks    int
+	explores  int
+}
+
+// NewSampleIndex returns an empty index with the given memory budget in
+// bytes (0 selects DefaultIndexBytes).
+func NewSampleIndex(budgetBytes int64) *SampleIndex {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultIndexBytes
+	}
+	return &SampleIndex{
+		budget:     budgetBytes,
+		chunkEls:   make(map[chunkKey]*list.Element),
+		exploreEls: make(map[exploreKey]*list.Element),
+		ll:         list.New(),
+	}
+}
+
+// Stats returns a snapshot of the index gauges.
+func (ix *SampleIndex) Stats() IndexStats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return IndexStats{
+		Hits:          ix.hits,
+		Misses:        ix.misses,
+		Evictions:     ix.evictions,
+		Chunks:        ix.chunks,
+		Explores:      ix.explores,
+		ResidentBytes: ix.resident,
+		BudgetBytes:   ix.budget,
+	}
+}
+
+// Reset empties the index and clears its (graph, c, seed) binding, so the
+// next Batch that uses it rebinds fresh. For callers that keep one index
+// while swapping graphs outside a Service (which builds a fresh index per
+// epoch instead): without a Reset, a mismatched index pins the old graph
+// and its resident entries for its lifetime while serving nothing.
+func (ix *SampleIndex) Reset() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.bound, ix.g, ix.c, ix.seed = false, nil, 0, 0
+	clear(ix.chunkEls)
+	clear(ix.exploreEls)
+	ix.ll.Init()
+	ix.resident, ix.chunks, ix.explores = 0, 0, 0
+}
+
+// bind pins the index to (g, c, seed) on first use and reports whether the
+// caller's triple matches the binding. A mismatch means the caller must
+// bypass the index: its chunk streams would not be the cached ones (call
+// Reset to repurpose an index for a new binding).
+func (ix *SampleIndex) bind(g *graph.Graph, c float64, seed uint64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.bound {
+		ix.bound, ix.g, ix.c, ix.seed = true, g, c, seed
+		return true
+	}
+	return ix.g == g && ix.c == c && ix.seed == seed
+}
+
+// chunkMeets returns the cached meet count for one chunk.
+func (ix *SampleIndex) chunkMeets(k chunkKey) (int64, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	el, ok := ix.chunkEls[k]
+	if !ok {
+		ix.misses++
+		return 0, false
+	}
+	ix.hits++
+	ix.ll.MoveToFront(el)
+	return el.Value.(*indexEntry).meets, true
+}
+
+// putChunk stores one completed chunk's meet count. Concurrent queries can
+// race to fill the same key; both compute the identical value (the stream
+// is seed-determined), so last-write-wins is harmless.
+func (ix *SampleIndex) putChunk(k chunkKey, meets int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if el, ok := ix.chunkEls[k]; ok {
+		ix.ll.MoveToFront(el)
+		el.Value.(*indexEntry).meets = meets
+		return
+	}
+	ix.chunkEls[k] = ix.ll.PushFront(&indexEntry{ck: k, meets: meets})
+	ix.chunks++
+	ix.resident += chunkEntryBytes
+	ix.evictLocked()
+}
+
+// exploreResult returns the cached exploration output for one key.
+func (ix *SampleIndex) exploreResult(k exploreKey) (exploreVal, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	el, ok := ix.exploreEls[k]
+	if !ok {
+		ix.misses++
+		return exploreVal{}, false
+	}
+	ix.hits++
+	ix.ll.MoveToFront(el)
+	return el.Value.(*indexEntry).ev, true
+}
+
+// putExplore stores one completed exploration result.
+func (ix *SampleIndex) putExplore(k exploreKey, v exploreVal) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if el, ok := ix.exploreEls[k]; ok {
+		ix.ll.MoveToFront(el)
+		el.Value.(*indexEntry).ev = v
+		return
+	}
+	ix.exploreEls[k] = ix.ll.PushFront(&indexEntry{isExplore: true, ek: k, ev: v})
+	ix.explores++
+	ix.resident += exploreEntryBytes
+	ix.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the budget holds.
+// Eviction cannot perturb results — a re-sampled chunk reproduces the
+// evicted integer bit for bit — it only costs the walking time again.
+func (ix *SampleIndex) evictLocked() {
+	for ix.resident > ix.budget && ix.ll.Len() > 0 {
+		oldest := ix.ll.Back()
+		ix.ll.Remove(oldest)
+		e := oldest.Value.(*indexEntry)
+		if e.isExplore {
+			delete(ix.exploreEls, e.ek)
+			ix.explores--
+			ix.resident -= exploreEntryBytes
+		} else {
+			delete(ix.chunkEls, e.ck)
+			ix.chunks--
+			ix.resident -= chunkEntryBytes
+		}
+		ix.evictions++
+	}
+}

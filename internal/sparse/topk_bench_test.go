@@ -1,0 +1,57 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchScores builds a deterministic pseudo-random dense score vector.
+func benchScores(n int) []float64 {
+	r := rand.New(rand.NewSource(42))
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.Float64()
+	}
+	return s
+}
+
+// BenchmarkTopK measures dense top-k selection across the (n, k) regimes
+// the serving layer sees: every TopK request funnels a full score vector
+// through this selection, so it sits on the query hot path right after the
+// backward phase.
+func BenchmarkTopK(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n, k int
+	}{
+		{"n=100k_k=10", 100_000, 10},
+		{"n=100k_k=100", 100_000, 100},
+		{"n=1M_k=10", 1_000_000, 10},
+		{"n=1M_k=100", 1_000_000, 100},
+	} {
+		scores := benchScores(bc.n)
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := TopK(scores, bc.k, 0); len(got) != bc.k {
+					b.Fatalf("got %d entries", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKSparse measures the sparse-vector variant used by truncated
+// single-source results.
+func BenchmarkTopKSparse(b *testing.B) {
+	const nnz, k = 100_000, 50
+	dense := benchScores(nnz)
+	v := FromDense(dense, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := TopKSparse(&v, k, 0); len(got) != k {
+			b.Fatalf("got %d entries", len(got))
+		}
+	}
+}

@@ -42,6 +42,14 @@ type ServiceOptions struct {
 	// earlier deadline of its own; exceeding it surfaces as
 	// CodeDeadlineExceeded (errors.Is context.DeadlineExceeded).
 	DefaultTimeout time.Duration
+	// DiagIndexBytes is the memory budget of the per-epoch diagonal
+	// sample index shared by every ExactSim querier of one graph
+	// generation — the cache that amortizes the Diagonal phase (the
+	// dominant single-source cost) across queries with distinct sources.
+	// 0 selects the 128 MiB default; negative disables the index. Each
+	// Update starts the new epoch with a fresh, empty index, so a chunk
+	// sampled on an old graph can never answer on a new one.
+	DiagIndexBytes int64
 	// QuerierOptions are applied to every querier the service constructs,
 	// before the per-request epsilon. Use them to pin C, seeds, worker
 	// counts or sampling constants service-wide.
@@ -114,6 +122,46 @@ type Response struct {
 	Err *Error `json:"error,omitempty"`
 }
 
+// WarmRequest asks a Service to pre-compute a set of single-source
+// queries so later traffic starts warm: each pre-computed source fills the
+// result cache, and — more importantly — populates the epoch's diagonal
+// sample index with the chunk cells its touched nodes need, cells that
+// queries from *other* sources share. It is part of the wire protocol
+// (POST /v1/warm in httpapi).
+type WarmRequest struct {
+	// Algorithm and Epsilon select the querier to warm; empty/zero keep
+	// the service defaults.
+	Algorithm string  `json:"algorithm,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	// Sources are the query nodes to pre-compute. When empty, the
+	// TopDegree highest in-degree nodes are warmed instead: π mass
+	// concentrates on high in-degree hubs, so hub queries accumulate the
+	// fattest sample allowances — exactly the chunk cells that dominate
+	// every other query's Diagonal phase.
+	Sources []NodeID `json:"sources,omitempty"`
+	// TopDegree is the hub count used when Sources is empty; 0 selects 32.
+	TopDegree int `json:"top_degree,omitempty"`
+}
+
+// WarmResponse reports one Warm call's outcome.
+type WarmResponse struct {
+	// Warmed / Failed count the pre-computed sources by outcome.
+	Warmed int `json:"warmed"`
+	Failed int `json:"failed"`
+	// GraphEpoch is the generation current when the pass finished — the
+	// one left (at least partially) warm. An Update mid-warm moves it.
+	GraphEpoch uint64 `json:"graph_epoch"`
+	// Err is set only when the call failed wholesale (closed service,
+	// invalid request); per-source failures just count toward Failed.
+	Err *Error `json:"error,omitempty"`
+}
+
+// DefaultWarmTopDegree is the hub count warmed by a WarmRequest that names
+// neither sources nor a TopDegree. Exported so transports can bound the
+// effective fan-out of a default request (httpapi holds it against
+// MaxBatch).
+const DefaultWarmTopDegree = 32
+
 // ServiceStats is a point-in-time snapshot: monotonic counters plus the
 // gauges a load balancer wants when deciding where to send traffic.
 type ServiceStats struct {
@@ -133,14 +181,32 @@ type ServiceStats struct {
 	Queriers int `json:"queriers"`
 	// GraphEpoch is the current graph generation (starts at 1).
 	GraphEpoch uint64 `json:"graph_epoch"`
+	// Diagonal sample index gauges for the current epoch (all zero when
+	// the index is disabled). Hits/misses count chunk and exploration
+	// lookups since the epoch began; resident/budget bytes describe the
+	// index's footprint against its eviction threshold. A load balancer
+	// reads DiagHitRate to tell a warm instance from a cold one.
+	DiagIndexEnabled  bool    `json:"diag_index_enabled"`
+	DiagHits          int64   `json:"diag_hits"`
+	DiagMisses        int64   `json:"diag_misses"`
+	DiagHitRate       float64 `json:"diag_hit_rate"`
+	DiagEvictions     int64   `json:"diag_evictions"`
+	DiagChunks        int     `json:"diag_chunks"`
+	DiagExplores      int     `json:"diag_explores"`
+	DiagResidentBytes int64   `json:"diag_resident_bytes"`
+	DiagBudgetBytes   int64   `json:"diag_budget_bytes"`
 }
 
 // graphState is one immutable graph generation. Queries capture the
 // current state once at entry and use it throughout, so an Update landing
-// mid-query never mixes epochs inside one response.
+// mid-query never mixes epochs inside one response. The diagonal sample
+// index lives here — not on the Service — so epoch isolation is
+// structural: a query can only ever reach the index of the generation it
+// captured, and a dropped generation takes its chunks with it.
 type graphState struct {
-	g     *Graph
-	epoch uint64
+	g       *Graph
+	epoch   uint64
+	diagIdx *DiagSampleIndex // nil when DiagIndexBytes < 0
 }
 
 // Service is a concurrent SimRank query front-end over a live graph: a
@@ -257,12 +323,22 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		inflight:    make(map[cacheKey]*flight),
 		cache:       newResultCache(opts.CacheSize),
 	}
-	s.state.Store(&graphState{g: g, epoch: 1})
+	s.state.Store(s.newState(g, 1))
 	for w := 0; w < opts.Workers; w++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// newState assembles one graph generation, with its own empty diagonal
+// sample index when indexing is enabled.
+func (s *Service) newState(g *Graph, epoch uint64) *graphState {
+	st := &graphState{g: g, epoch: epoch}
+	if s.opts.DiagIndexBytes >= 0 {
+		st.diagIdx = NewDiagSampleIndex(s.opts.DiagIndexBytes)
+	}
+	return st
 }
 
 // ServeDynamic starts a query service over d's current snapshot and
@@ -299,7 +375,7 @@ func (s *Service) Update(g *Graph) (uint64, error) {
 		return 0, ToError(ErrServiceClosed)
 	}
 	s.updateMu.Lock()
-	st := &graphState{g: g, epoch: s.state.Load().epoch + 1}
+	st := s.newState(g, s.state.Load().epoch+1)
 	s.state.Store(st)
 	s.updateMu.Unlock()
 	s.closeMu.RUnlock()
@@ -490,6 +566,68 @@ func (s *Service) Batch(ctx context.Context, reqs []Request) []Response {
 	return out
 }
 
+// Warm pre-computes the requested sources through the regular query path
+// (worker pool, cache fills, diagonal index fills) and reports how many
+// completed. Warming is cumulative and idempotent — already-cached sources
+// are hits, not recomputations — and an Update mid-warm simply leaves the
+// new epoch partially warmed (the warmed chunks of the old epoch are
+// unreachable by construction). Callers bound the work with ctx.
+func (s *Service) Warm(ctx context.Context, wr WarmRequest) WarmResponse {
+	st := s.state.Load()
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		return WarmResponse{GraphEpoch: st.epoch, Err: ToError(ErrServiceClosed)}
+	}
+	if wr.TopDegree < 0 {
+		return WarmResponse{GraphEpoch: st.epoch, Err: Errorf(CodeInvalidArgument,
+			"exactsim: negative top_degree %d", wr.TopDegree)}
+	}
+	sources := wr.Sources
+	if len(sources) == 0 {
+		k := wr.TopDegree
+		if k == 0 {
+			k = DefaultWarmTopDegree
+		}
+		sources = topInDegreeSources(st.g, k)
+	}
+	reqs := make([]Request, len(sources))
+	for i, src := range sources {
+		reqs[i] = Request{Algorithm: wr.Algorithm, Source: src, Epsilon: wr.Epsilon}
+	}
+	var out WarmResponse
+	for _, resp := range s.Batch(ctx, reqs) {
+		if resp.Err != nil {
+			out.Failed++
+		} else {
+			out.Warmed++
+		}
+	}
+	// Report the epoch current *after* the pass — queries run on whatever
+	// generation is live when they execute, so an Update mid-warm means
+	// the final epoch is the (partially) warmed one, not the epoch the
+	// hub selection saw.
+	out.GraphEpoch = s.state.Load().epoch
+	return out
+}
+
+// topInDegreeSources picks the k highest in-degree nodes (ties broken by
+// lower id, via the TopK ordering contract) — the cheap structural proxy
+// for high-π nodes.
+func topInDegreeSources(g *Graph, k int) []NodeID {
+	deg := make([]float64, g.N())
+	for v := range deg {
+		deg[v] = float64(g.InDegree(NodeID(v)))
+	}
+	entries := TopKOf(deg, k, -1)
+	sources := make([]NodeID, len(entries))
+	for i, e := range entries {
+		sources[i] = e.Idx
+	}
+	return sources
+}
+
 // failRemaining answers reqs[from:] with ctx's error, keeping the
 // counters consistent with the path where each would have gone through
 // Query.
@@ -570,7 +708,7 @@ func (s *Service) querier(ctx context.Context, st *graphState, algorithm string,
 		slot = &querierSlot{done: make(chan struct{})}
 		s.queriers[key] = slot
 		s.evictQueriersLocked()
-		go s.build(key, slot, st.g, algorithm, epsilon)
+		go s.build(key, slot, st, algorithm, epsilon)
 	}
 	s.querierSeq++
 	slot.seq = s.querierSeq
@@ -584,16 +722,21 @@ func (s *Service) querier(ctx context.Context, st *graphState, algorithm string,
 	}
 }
 
-// build constructs one querier over g (the key's epoch snapshot) and
-// publishes it on the slot. On failure the slot is removed from the map
-// so the next request retries; after an Update the delete is a no-op
-// (Update already dropped the stale key).
-func (s *Service) build(key querierKey, slot *querierSlot, g *Graph, algorithm string, epsilon float64) {
+// build constructs one querier over st's epoch snapshot and publishes it
+// on the slot. On failure the slot is removed from the map so the next
+// request retries; after an Update the delete is a no-op (Update already
+// dropped the stale key). Every querier of one epoch shares that epoch's
+// diagonal sample index: queriers differing only in ε draw identical
+// chunk streams, so one warm index serves them all.
+func (s *Service) build(key querierKey, slot *querierSlot, st *graphState, algorithm string, epsilon float64) {
 	opts := append([]QuerierOption(nil), s.opts.QuerierOptions...)
 	if epsilon != 0 {
 		opts = append(opts, WithEpsilon(epsilon))
 	}
-	q, err := NewQuerierCtx(s.buildCtx, algorithm, g, opts...)
+	if st.diagIdx != nil {
+		opts = append(opts, WithDiagIndex(st.diagIdx))
+	}
+	q, err := NewQuerierCtx(s.buildCtx, algorithm, st.g, opts...)
 	if err != nil {
 		s.querierMu.Lock()
 		delete(s.queriers, key)
@@ -649,7 +792,8 @@ func (s *Service) Stats() ServiceStats {
 	s.querierMu.Lock()
 	queriers := len(s.queriers)
 	s.querierMu.Unlock()
-	return ServiceStats{
+	st := s.state.Load()
+	out := ServiceStats{
 		Queries:       s.queries.Load(),
 		CacheHits:     s.cacheHits.Load(),
 		Errors:        s.errors.Load(),
@@ -657,8 +801,23 @@ func (s *Service) Stats() ServiceStats {
 		QueueDepth:    len(s.jobs),
 		InFlight:      int(s.inFlight.Load()),
 		Queriers:      queriers,
-		GraphEpoch:    s.state.Load().epoch,
+		GraphEpoch:    st.epoch,
 	}
+	if st.diagIdx != nil {
+		ds := st.diagIdx.Stats()
+		out.DiagIndexEnabled = true
+		out.DiagHits = ds.Hits
+		out.DiagMisses = ds.Misses
+		if looked := ds.Hits + ds.Misses; looked > 0 {
+			out.DiagHitRate = float64(ds.Hits) / float64(looked)
+		}
+		out.DiagEvictions = ds.Evictions
+		out.DiagChunks = ds.Chunks
+		out.DiagExplores = ds.Explores
+		out.DiagResidentBytes = ds.ResidentBytes
+		out.DiagBudgetBytes = ds.BudgetBytes
+	}
+	return out
 }
 
 // Graph returns the current graph generation's snapshot.

@@ -2,6 +2,7 @@ package exactsim_test
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 
 	exactsim "github.com/exactsim/exactsim"
@@ -43,6 +44,62 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkServiceDistinctSources measures the workload the diagonal
+// sample index exists for: every query names a different source, so the
+// result LRU never helps (it is disabled outright here) and each answer
+// recomputes its forward and backward phases — but D(k,k) depends only on
+// the graph, so the Diagonal phase, the dominant cost, is shareable.
+//
+//   - cold: the index disabled (DiagIndexBytes < 0) — the pre-index
+//     serving behavior, every query pays full sampling.
+//   - warm: the per-epoch index enabled and pre-populated by one rotation
+//     over the source set outside the timer — the steady state of a
+//     long-running instance (or one warmed via Warm / POST /v1/warm).
+//
+// The warm/cold ns-per-op ratio is the serving speedup the index buys;
+// BENCH_PR4.json records both.
+func BenchmarkServiceDistinctSources(b *testing.B) {
+	g := exactsim.GenerateBarabasiAlbert(2000, 4, 1)
+	const sources = 256
+	run := func(b *testing.B, diagBytes int64, warm bool) {
+		svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+			CacheSize:      -1, // distinct sources: the result LRU is out of the picture
+			DiagIndexBytes: diagBytes,
+			QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.02), exactsim.WithSeed(1)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		ctx := context.Background()
+		// Build the querier (and, for warm, one full source rotation)
+		// outside the timer.
+		if resp := svc.Query(ctx, exactsim.Request{Source: 0}); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+		if warm {
+			for s := 0; s < sources; s++ {
+				if resp := svc.Query(ctx, exactsim.Request{Source: exactsim.NodeID(s)}); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		}
+		b.ResetTimer()
+		var next atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				resp := svc.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i % sources)})
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+		})
+	}
+	b.Run("cold", func(b *testing.B) { run(b, -1, false) })
+	b.Run("warm", func(b *testing.B) { run(b, 0, true) })
 }
 
 // BenchmarkServiceThroughputCold measures the uncached path: every query

@@ -8,11 +8,13 @@
 //	exactsimd -dataset WV -scale 0.1 -addr :8640
 //	exactsimd -graph edges.txt -undirected -eps 1e-4 -workers 8
 //	exactsimd -ba-n 5000 -ba-k 4              # generated demo graph
+//	exactsimd -snapshot warm.snap             # instant warm restart
 //
 // Then:
 //
 //	curl -s localhost:8640/v1/query -d '{"algorithm":"exactsim","source":42,"k":5}'
 //	curl -s localhost:8640/v1/warm -d '{"top_degree":64}'
+//	curl -s localhost:8640/v1/snapshot -o warm.snap
 //	curl -s localhost:8640/v1/algorithms
 //	curl -s localhost:8640/v1/stats
 //	curl -s localhost:8640/healthz
@@ -20,6 +22,13 @@
 // -warm N pre-computes the N highest in-degree sources before serving, so
 // the diagonal sample index (see -diag-index-mb) starts hot and first-query
 // latency drops.
+//
+// -save-snapshot writes the warm state (graph CSR + diagonal sample
+// index) as a snapshot container after warming and again at graceful
+// shutdown; -snapshot boots from one — the graph is mmap'd zero-copy and
+// the index restored, so a restart (or a fresh fleet member fed a peer's
+// /v1/snapshot download) answers its first query in microseconds instead
+// of re-parsing and re-sampling.
 //
 // SIGINT/SIGTERM drain in-flight requests (5 s grace) before exiting.
 package main
@@ -64,13 +73,10 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 4096, "per-call /v1/batch request bound")
 		diagIndexMB = flag.Int64("diag-index-mb", 128, "diagonal sample index budget in MiB (negative disables)")
 		warm        = flag.Int("warm", 0, "pre-warm this many top in-degree sources before serving (0 = none)")
+		snapshot    = flag.String("snapshot", "", "boot from a snapshot container: mmap the graph and restore the diagonal sample index (see -save-snapshot and POST /v1/snapshot)")
+		saveSnap    = flag.String("save-snapshot", "", "write a snapshot container here after warming, and again on graceful shutdown — the next boot with -snapshot starts warm")
 	)
 	flag.Parse()
-
-	g, desc, err := loadGraph(*graphPath, *binary, *undirected, *datasetKey, *scale, *baN, *baK, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	var qopts []exactsim.QuerierOption
 	if *eps > 0 {
@@ -81,7 +87,7 @@ func main() {
 	if *diagIndexMB < 0 {
 		diagBytes = -1
 	}
-	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+	svcOpts := exactsim.ServiceOptions{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheSize:        *cacheSize,
@@ -90,9 +96,37 @@ func main() {
 		DefaultTimeout:   *timeout,
 		DiagIndexBytes:   diagBytes,
 		QuerierOptions:   qopts,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+
+	var (
+		svc  *exactsim.Service
+		desc string
+		err  error
+	)
+	if *snapshot != "" {
+		if *graphPath != "" || *datasetKey != "" {
+			log.Fatal("exactsimd: -snapshot is mutually exclusive with -graph and -dataset")
+		}
+		start := time.Now()
+		svc, err = exactsim.OpenSnapshot(*snapshot, svcOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := svc.Stats()
+		log.Printf("exactsimd: restored snapshot %s in %v — %d diag chunks + %d explorations resident (%d KiB)",
+			*snapshot, time.Since(start).Round(time.Millisecond),
+			st.DiagChunks, st.DiagExplores, st.DiagResidentBytes>>10)
+		desc = "snapshot " + *snapshot
+	} else {
+		var g *exactsim.Graph
+		g, desc, err = loadGraph(*graphPath, *binary, *undirected, *datasetKey, *scale, *baN, *baK, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err = exactsim.NewService(g, svcOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer svc.Close()
 
@@ -108,6 +142,10 @@ func main() {
 			st.DiagChunks, st.DiagResidentBytes>>10)
 	}
 
+	if *saveSnap != "" {
+		saveSnapshot(svc, *saveSnap)
+	}
+
 	api := httpapi.NewServer(svc, httpapi.ServerOptions{
 		MaxBatch:   *maxBatch,
 		MaxTimeout: *maxTimeout,
@@ -120,7 +158,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("exactsimd: serving %s (n=%d m=%d) on %s — default algorithm %q, epoch %d",
-		desc, g.N(), g.M(), *addr, svc.DefaultAlgorithm(), svc.Epoch())
+		desc, svc.Graph().N(), svc.Graph().M(), *addr, svc.DefaultAlgorithm(), svc.Epoch())
 
 	select {
 	case err := <-errc:
@@ -133,9 +171,33 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("exactsimd: shutdown: %v", err)
 	}
+	if *saveSnap != "" {
+		// Re-spill on the way out: everything this process sampled since
+		// boot rides into the next boot's warm start.
+		saveSnapshot(svc, *saveSnap)
+	}
 	st := svc.Stats()
 	log.Printf("exactsimd: served %d queries (%d cache hits, %d errors, diag hit rate %.0f%%)",
 		st.Queries, st.CacheHits, st.Errors, 100*st.DiagHitRate)
+}
+
+// saveSnapshot writes the current generation to path (atomically) and
+// logs the outcome; failures are reported, not fatal — a read-only disk
+// should not take the serving path down.
+func saveSnapshot(svc *exactsim.Service, path string) {
+	start := time.Now()
+	if err := svc.SaveSnapshot(path); err != nil {
+		log.Printf("exactsimd: save-snapshot: %v", err)
+		return
+	}
+	fi, _ := os.Stat(path)
+	var size int64
+	if fi != nil {
+		size = fi.Size()
+	}
+	st := svc.Stats()
+	log.Printf("exactsimd: wrote snapshot %s (%d KiB, epoch %d, %d diag chunks) in %v",
+		path, size>>10, st.GraphEpoch, st.DiagChunks, time.Since(start).Round(time.Millisecond))
 }
 
 // loadGraph resolves the graph flags: an explicit file beats a dataset
@@ -146,7 +208,9 @@ func loadGraph(path string, binary, undirected bool, datasetKey string, scale fl
 	case path != "" && datasetKey != "":
 		return nil, "", errors.New("exactsimd: -graph and -dataset are mutually exclusive")
 	case path != "" && binary:
-		g, err := exactsim.LoadBinary(path)
+		// OpenBinary mmaps the container zero-copy where the platform
+		// allows; the mapping lives for the life of the daemon.
+		g, err := exactsim.OpenBinary(path)
 		return g, path, err
 	case path != "":
 		g, err := exactsim.LoadEdgeList(path, undirected)

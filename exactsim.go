@@ -31,7 +31,11 @@
 // Request/Response form a serializable protocol (structured error codes,
 // graph epochs) with an HTTP transport in the httpapi package and a
 // serving daemon in cmd/exactsimd; httpapi.Client implements this same
-// Querier interface against a remote server. See DESIGN.md §6.
+// Querier interface against a remote server. See DESIGN.md §6. A warm
+// service persists its state — graph plus diagonal sample index — as a
+// checksummed snapshot container (Service.Snapshot/SaveSnapshot) that
+// OpenSnapshot restores in milliseconds with the graph mmap'd zero-copy;
+// see DESIGN.md §8.
 //
 // The legacy engine-per-algorithm constructors (New, BuildMCIndex, ...)
 // remain for direct access to algorithm-specific records.
@@ -253,11 +257,21 @@ func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
 	return graph.ReadEdgeList(r, undirected)
 }
 
-// SaveBinary / LoadBinary use the repository's fast binary graph format.
+// WriteEdgeList emits g as a directed SNAP-style edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// SaveBinary / LoadBinary use the repository's binary graph format —
+// a single-section snapshot container (see DESIGN.md §8). LoadBinary
+// decodes into memory; OpenBinary (snapshot.go) mmaps zero-copy.
 func SaveBinary(path string, g *Graph) error { return graph.SaveBinary(path, g) }
 
-// LoadBinary reads a graph written by SaveBinary.
+// LoadBinary reads a graph written by SaveBinary (or the legacy
+// pre-container binary format).
 func LoadBinary(path string) (*Graph, error) { return graph.LoadBinary(path) }
+
+// GraphChecksum returns g's identity checksum — the CRC64 of its
+// encoded CSR section, the value snapshot diag spills bind to.
+func GraphChecksum(g *Graph) uint64 { return g.Checksum() }
 
 // Stats computes degree statistics for g.
 func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }

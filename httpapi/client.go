@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -170,6 +171,42 @@ func (c *Client) Warm(ctx context.Context, wr exactsim.WarmRequest) (exactsim.Wa
 		return exactsim.WarmResponse{}, err
 	}
 	return resp, nil
+}
+
+// Snapshot downloads the server's current graph generation as a
+// snapshot container — graph plus diagonal sample index — and copies it
+// to w, returning the byte count and the graph epoch the server
+// reported. Save it to a file and boot a warm clone with
+// exactsim.OpenSnapshot (or `exactsimd -snapshot`): that is how a fresh
+// fleet member skips both the graph parse and the sampling the peer
+// already paid for. The container is self-checksummed; a transfer
+// truncated mid-stream fails to open.
+func (c *Client) Snapshot(ctx context.Context, w io.Writer) (n int64, epoch uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode < 200 || res.StatusCode >= 300 {
+		data, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		var env struct {
+			Err *exactsim.Error `json:"error"`
+		}
+		if json.Unmarshal(data, &env) == nil && env.Err != nil {
+			return 0, 0, env.Err
+		}
+		return 0, 0, fmt.Errorf("httpapi: POST /v1/snapshot returned %s", res.Status)
+	}
+	epoch, _ = strconv.ParseUint(res.Header.Get("X-Exactsim-Graph-Epoch"), 10, 64)
+	n, err = io.Copy(w, res.Body)
+	if err != nil {
+		return n, epoch, fmt.Errorf("httpapi: downloading snapshot: %w", err)
+	}
+	return n, epoch, nil
 }
 
 // Algorithms returns the server's registry names and default algorithm.

@@ -13,6 +13,10 @@
 //	POST /v1/batch       {"requests": [...]} → {"responses": [...]}
 //	POST /v1/warm        WarmRequest → WarmResponse (pre-compute sources,
 //	                     fill the result cache + diagonal sample index)
+//	GET  /v1/snapshot    stream the current graph generation as a
+//	                     snapshot container (graph CSR + diag index
+//	                     spill; application/octet-stream) — the warm
+//	                     clone / instant-restart path (POST also accepted)
 //	GET  /v1/algorithms  registry names + the service default
 //	GET  /v1/stats       ServiceStats (counters + load-balancer gauges,
 //	                     including the diagonal-index hit/resident gauges)

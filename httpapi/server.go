@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	exactsim "github.com/exactsim/exactsim"
@@ -51,6 +52,11 @@ func NewServer(svc *exactsim.Service, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
+	// Registered for both verbs: semantically it is a download (GET, and
+	// what a bare `curl -o` sends), but POST-only clients from the first
+	// cut of this endpoint keep working.
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -124,6 +130,50 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp := s.svc.Warm(ctx, wr.WarmRequest)
 	writeJSON(w, StatusOf(resp.Err), resp)
+}
+
+// handleSnapshot streams the service's current graph generation as a
+// snapshot container (application/octet-stream): the admin/fleet path
+// by which a fresh instance clones a warm peer's graph + diagonal
+// sample index instead of re-deriving them. The epoch travels in
+// X-Exactsim-Graph-Epoch; save the body to disk and boot with
+// `exactsimd -snapshot` (or exactsim.OpenSnapshot).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	cw := &countingWriter{w: w}
+	// The epoch header is set by the pinned-generation hook — after the
+	// snapshot decides which generation it streams (an Update can race
+	// the request), before the first body byte flushes the headers.
+	err := s.svc.SnapshotTo(cw, func(epoch uint64) {
+		w.Header().Set("X-Exactsim-Graph-Epoch", strconv.FormatUint(epoch, 10))
+	})
+	if err != nil {
+		if cw.n == 0 {
+			// Nothing streamed yet (a closed service fails up front): the
+			// protocol error envelope can still answer.
+			e := exactsim.ToError(err)
+			h := w.Header()
+			h.Del("Content-Type")
+			h.Del("X-Exactsim-Graph-Epoch")
+			writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+			return
+		}
+		// Mid-stream failure: the status is gone; the truncated body
+		// fails its container checksum on the client side.
+	}
+}
+
+// countingWriter tracks whether any response bytes left the building,
+// which decides if an error can still change the status line.
+type countingWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {

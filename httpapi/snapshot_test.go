@@ -1,0 +1,115 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// TestHTTPSnapshotWarmClone is the fleet story end to end: instance A
+// serves and warms; a fresh instance clones A over the wire (POST
+// /v1/snapshot), boots from the container, and answers bit-identically
+// with A's diagonal sample chunks already resident.
+func TestHTTPSnapshotWarmClone(t *testing.T) {
+	svcOpts := exactsim.ServiceOptions{
+		Workers:   2,
+		CacheSize: -1,
+		QuerierOptions: []exactsim.QuerierOption{
+			exactsim.WithEpsilon(0.05), exactsim.WithSeed(3),
+		},
+	}
+	svcA, ts, c := loopback(t, svcOpts, httpapi.ServerOptions{})
+
+	ctx := context.Background()
+	want, err := c.SingleSource(ctx, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsA := svcA.Stats()
+	if statsA.DiagChunks == 0 {
+		t.Fatal("server accumulated no diag chunks")
+	}
+
+	var buf bytes.Buffer
+	n, epoch, err := c.Snapshot(ctx, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("snapshot copied %d bytes, buffered %d", n, buf.Len())
+	}
+	if epoch != svcA.Epoch() {
+		t.Fatalf("snapshot epoch %d, server at %d", epoch, svcA.Epoch())
+	}
+
+	// A bare GET (what `curl -o` sends) must download the same container.
+	res, err := ts.Client().Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGet, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK || !bytes.Equal(viaGet, buf.Bytes()) {
+		t.Fatalf("GET /v1/snapshot: status %d, %d bytes (POST gave %d)", res.StatusCode, len(viaGet), buf.Len())
+	}
+
+	path := filepath.Join(t.TempDir(), "clone.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := exactsim.OpenSnapshot(path, svcOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clone.Close()
+	if st := clone.Stats(); st.DiagChunks != statsA.DiagChunks {
+		t.Fatalf("clone restored %d chunks, server had %d", st.DiagChunks, statsA.DiagChunks)
+	}
+	resp := clone.Query(ctx, exactsim.Request{Source: 42})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	for i := range want.Scores {
+		if math.Float64bits(want.Scores[i]) != math.Float64bits(resp.Result.Scores[i]) {
+			t.Fatalf("clone diverges from server at %d: %v vs %v", i, want.Scores[i], resp.Result.Scores[i])
+		}
+	}
+	// A truncated transfer must fail to open, not half-load.
+	short := filepath.Join(t.TempDir(), "short.snap")
+	if err := os.WriteFile(short, buf.Bytes()[:buf.Len()-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exactsim.OpenSnapshot(short, svcOpts); err == nil {
+		t.Fatal("truncated snapshot opened")
+	}
+}
+
+// TestHTTPSnapshotClosedService: the endpoint answers the protocol
+// error when the service is gone, not an empty container.
+func TestHTTPSnapshotClosedService(t *testing.T) {
+	svc, _, c := loopback(t, exactsim.ServiceOptions{Workers: 1}, httpapi.ServerOptions{})
+	svc.Close()
+	var buf bytes.Buffer
+	_, _, err := c.Snapshot(context.Background(), &buf)
+	if err == nil {
+		t.Fatal("snapshot of closed service succeeded")
+	}
+	if !errors.Is(err, exactsim.ErrServiceClosed) {
+		t.Fatalf("error %v does not match ErrServiceClosed", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("closed service still streamed %d bytes", buf.Len())
+	}
+}

@@ -98,11 +98,15 @@ type IndexStats struct {
 type SampleIndex struct {
 	mu sync.Mutex
 
-	// Binding: set by the first Batch that uses the index.
-	bound bool
-	g     *graph.Graph
-	c     float64
-	seed  uint64
+	// Binding: set by the first Batch that uses the index, or restored
+	// from a spill (then g is nil and restoredSum holds the checksum of
+	// the graph the entries belong to until a matching graph adopts it;
+	// see spill.go).
+	bound       bool
+	g           *graph.Graph
+	c           float64
+	seed        uint64
+	restoredSum uint64
 
 	budget   int64
 	resident int64
@@ -155,25 +159,46 @@ func (ix *SampleIndex) Stats() IndexStats {
 func (ix *SampleIndex) Reset() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.bound, ix.g, ix.c, ix.seed = false, nil, 0, 0
-	clear(ix.chunkEls)
-	clear(ix.exploreEls)
-	ix.ll.Init()
-	ix.resident, ix.chunks, ix.explores = 0, 0, 0
+	ix.resetLocked()
 }
 
 // bind pins the index to (g, c, seed) on first use and reports whether the
 // caller's triple matches the binding. A mismatch means the caller must
 // bypass the index: its chunk streams would not be the cached ones (call
 // Reset to repurpose an index for a new binding).
+//
+// An index restored from a spill is bound to a graph *checksum* rather
+// than a pointer; the first caller whose graph hashes to it (and whose
+// c and seed match) adopts the binding, after which the cheap pointer
+// comparison resumes. Checksum hashing is O(m) but cached on the graph,
+// so the adoption costs one pass, once.
 func (ix *SampleIndex) bind(g *graph.Graph, c float64, seed uint64) bool {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if !ix.bound {
 		ix.bound, ix.g, ix.c, ix.seed = true, g, c, seed
+		ix.mu.Unlock()
 		return true
 	}
-	return ix.g == g && ix.c == c && ix.seed == seed
+	if ix.g == nil && ix.restoredSum != 0 {
+		if ix.c != c || ix.seed != seed {
+			ix.mu.Unlock()
+			return false
+		}
+		want := ix.restoredSum
+		ix.mu.Unlock()
+		sum := g.Checksum() // may hash O(m) bytes; never under ix.mu
+		ix.mu.Lock()
+		// Recheck: a concurrent bind may have adopted (or Reset) meanwhile.
+		if ix.bound && ix.g == nil && ix.restoredSum == want && sum == want {
+			ix.g = g
+		}
+		ok := ix.bound && ix.g == g && ix.c == c && ix.seed == seed
+		ix.mu.Unlock()
+		return ok
+	}
+	ok := ix.g == g && ix.c == c && ix.seed == seed
+	ix.mu.Unlock()
+	return ok
 }
 
 // chunkMeets returns the cached meet count for one chunk.

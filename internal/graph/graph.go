@@ -9,7 +9,10 @@
 // and the reverse sampling used by the PRSim baseline.
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a vertex. 32 bits keeps the adjacency arrays compact;
 // the paper's largest graph (Twitter, 4.2e7 nodes) fits with room to spare.
@@ -28,6 +31,35 @@ type Graph struct {
 	outAdj []int32
 	inOff  []int64
 	inAdj  []int32
+
+	// mapped/release back graphs opened zero-copy from a snapshot
+	// container (OpenBinary): the CSR slices above alias the mmap'd
+	// mapping, and release unmaps it. Heap-built graphs leave both zero.
+	mapped  bool
+	release func() error
+	relOnce sync.Once
+
+	// sum caches Checksum() — the CRC64 of the encoded CSR section,
+	// the graph identity snapshots and index spills bind to.
+	sumOnce sync.Once
+	sum     uint64
+}
+
+// Mapped reports whether the CSR arrays alias an mmap'd snapshot
+// container (true only for OpenBinary graphs on platforms with mmap).
+func (g *Graph) Mapped() bool { return g.mapped }
+
+// Close releases the mmap'd mapping backing an OpenBinary graph. After
+// Close the graph — and any slice obtained from it — must not be
+// touched. Heap-backed graphs make Close a no-op, so callers can Close
+// unconditionally. Idempotent; never closing a graph is safe and merely
+// pins the mapping until process exit.
+func (g *Graph) Close() error {
+	var err error
+	if g.release != nil {
+		g.relOnce.Do(func() { err = g.release() })
+	}
+	return err
 }
 
 // N returns the number of nodes.

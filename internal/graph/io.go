@@ -2,7 +2,6 @@ package graph
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -90,89 +89,5 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Binary format: a fixed little-endian header followed by the four CSR
-// arrays. Loading is a handful of bulk reads, which matters for the large
-// stand-in datasets the experiment harness regenerates.
-
-const binaryMagic = uint64(0x4753494d52414e4b) // "GSIMRANK"
-
-// WriteBinary encodes the graph in the repository's binary format.
-func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := []uint64{binaryMagic, uint64(g.n), uint64(len(g.outAdj))}
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
-			return fmt.Errorf("graph: writing binary header: %w", err)
-		}
-	}
-	for _, arr := range [][]int64{g.outOff, g.inOff} {
-		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
-			return fmt.Errorf("graph: writing offsets: %w", err)
-		}
-	}
-	for _, arr := range [][]int32{g.outAdj, g.inAdj} {
-		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
-			return fmt.Errorf("graph: writing adjacency: %w", err)
-		}
-	}
-	return bw.Flush()
-}
-
-// ReadBinary decodes a graph written by WriteBinary and validates it.
-func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var magic, n, m uint64
-	for _, p := range []*uint64{&magic, &n, &m} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("graph: reading binary header: %w", err)
-		}
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", magic)
-	}
-	if n > 1<<31-2 || m > 1<<40 {
-		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
-	}
-	g := &Graph{n: int32(n)}
-	g.outOff = make([]int64, n+1)
-	g.inOff = make([]int64, n+1)
-	g.outAdj = make([]int32, m)
-	g.inAdj = make([]int32, m)
-	for _, arr := range [][]int64{g.outOff, g.inOff} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, fmt.Errorf("graph: reading offsets: %w", err)
-		}
-	}
-	for _, arr := range [][]int32{g.outAdj, g.inAdj} {
-		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
-			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
-		}
-	}
-	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("graph: binary file failed validation: %w", err)
-	}
-	return g, nil
-}
-
-// SaveBinary writes the binary encoding to path.
-func SaveBinary(path string, g *Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteBinary(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// LoadBinary reads a binary graph from path.
-func LoadBinary(path string) (*Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ReadBinary(f)
-}
+// The binary codec (snapshot-container format, mmap-backed OpenBinary,
+// legacy-format reading) lives in binary.go.

@@ -1,0 +1,66 @@
+package store
+
+import "unsafe"
+
+// The Alias* helpers reinterpret container bytes as typed slices — and
+// typed slices as bytes — without copying. They succeed only when the
+// host is little-endian (matching the on-disk byte order) and the
+// pointer is aligned for the element type; callers must keep a fallback
+// decode path, which is also the portable path on big-endian hosts.
+// Aliased slices share memory with their source: the source must stay
+// reachable (and, for mmap-backed bytes, mapped) for the alias's
+// lifetime, and neither side may be written.
+
+// AliasInt64s reinterprets b as a []int64 when possible.
+func AliasInt64s(b []byte) ([]int64, bool) {
+	if !hostLittleEndian || len(b)%8 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []int64{}, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int64)(p), len(b)/8), true
+}
+
+// AliasInt32s reinterprets b as a []int32 when possible.
+func AliasInt32s(b []byte) ([]int32, bool) {
+	if !hostLittleEndian || len(b)%4 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []int32{}, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*int32)(p), len(b)/4), true
+}
+
+// AliasBytes64 reinterprets xs as its little-endian byte image when the
+// host already stores it that way (the zero-copy write path).
+func AliasBytes64(xs []int64) ([]byte, bool) {
+	if !hostLittleEndian {
+		return nil, false
+	}
+	if len(xs) == 0 {
+		return []byte{}, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(xs))), len(xs)*8), true
+}
+
+// AliasBytes32 reinterprets xs as its little-endian byte image when the
+// host already stores it that way.
+func AliasBytes32(xs []int32) ([]byte, bool) {
+	if !hostLittleEndian {
+		return nil, false
+	}
+	if len(xs) == 0 {
+		return []byte{}, true
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(xs))), len(xs)*4), true
+}

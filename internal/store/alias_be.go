@@ -1,0 +1,8 @@
+//go:build mips || mips64 || ppc64 || s390x
+
+package store
+
+// Big-endian host: container bytes (little-endian by definition) can
+// never be reinterpreted in place; every Alias* helper declines and
+// callers decode explicitly.
+const hostLittleEndian = false

@@ -1,0 +1,9 @@
+//go:build !(mips || mips64 || ppc64 || s390x)
+
+package store
+
+// hostLittleEndian gates the zero-copy reinterpretations: the container
+// is defined little-endian, so aliasing raw bytes as integers is only
+// meaningful where the host agrees. Big-endian platforms take the
+// explicit-decode path instead (alias_be.go).
+const hostLittleEndian = true

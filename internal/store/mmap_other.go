@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile on platforms without the unix mmap syscalls always declines,
+// sending Open down the io.ReadFull fallback path. The API above this
+// point is identical; only Mapped() observes the difference.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("store: mmap unsupported on this platform")
+}

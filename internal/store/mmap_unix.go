@@ -1,0 +1,25 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release function
+// unmaps; the *os.File itself may be closed immediately after mapping
+// (the mapping keeps its own reference to the pages). Empty files are
+// declined — mmap of length 0 is an error on most kernels, and the
+// parser rejects them anyway.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, errors.New("store: size not mappable")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

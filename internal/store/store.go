@@ -1,0 +1,187 @@
+// Package store implements the repository's persistent snapshot
+// container: a versioned, checksummed binary file format holding
+// sections of little-endian fixed-width data — the graph's CSR arrays,
+// and optionally a spill of the diagonal sample index — laid out so the
+// whole file can be mmap'd and served zero-copy.
+//
+// # Container layout
+//
+// All integers are little-endian. The file is:
+//
+//	file header (16 B):  magic u64 | format version u32 | section count u32
+//	section × count:     id u32 | reserved u32 | payload length u64
+//	                     payload (length bytes)
+//	                     zero padding to the next 8-byte boundary
+//	                     crc64(payload) u64   (ECMA polynomial)
+//
+// The fixed 16-byte file header and 16-byte section headers, plus the
+// payload padding, keep every payload 8-byte aligned relative to the
+// start of the file. An mmap'd mapping is page-aligned, so an aligned
+// payload can be reinterpreted in place as []int64/[]int32 on 64-bit
+// little-endian platforms (see Alias*); everywhere else the same bytes
+// decode through explicit little-endian reads behind the same API.
+//
+// Unknown section ids are preserved and skipped by readers (forward
+// compatibility); an unknown format version is rejected (the version
+// only changes when the layout above changes incompatibly). Truncation
+// anywhere is caught by the byte accounting, bit corruption by the
+// per-section CRCs.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+)
+
+const (
+	// Magic identifies a snapshot container ("EXSIMSNP", read as a
+	// little-endian u64 from the file's first 8 bytes).
+	Magic = uint64(0x504e534d49535845)
+	// Version is the current container format version. Readers reject
+	// other versions outright: a layout change bumps it, and silently
+	// misparsing someone's graph is worse than asking them to re-convert.
+	Version = uint32(1)
+
+	// SectionGraph holds the graph's CSR arrays (see internal/graph).
+	SectionGraph = uint32(1)
+	// SectionDiagIndex holds a diagonal sample index spill
+	// (see internal/diag).
+	SectionDiagIndex = uint32(2)
+
+	fileHeaderSize    = 16
+	sectionHeaderSize = 16
+)
+
+// crcTable is the ECMA-polynomial table shared by every checksum in the
+// container (and by the diag spill's own trailer).
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// CRC64 is the container's checksum function, exported so section
+// payloads produced elsewhere (the diag spill) can bind to the same
+// definition.
+func CRC64(b []byte) uint64 { return crc64.Checksum(b, crcTable) }
+
+// NewCRC64 returns a streaming hasher over the container's checksum
+// definition, for payloads too large to buffer (graph checksums hash
+// the encoded CSR without materializing it).
+func NewCRC64() hash.Hash64 { return crc64.New(crcTable) }
+
+// pad8 returns how many zero bytes follow an n-byte payload.
+func pad8(n int64) int64 { return (8 - n&7) & 7 }
+
+var zeros [8]byte
+
+// Writer streams one container to an io.Writer. Sections are declared
+// up front (the count sits in the file header) and written strictly in
+// call order; each section's payload length must be known before its
+// bytes are produced — CSR arrays and index spills both have computable
+// sizes, and knowing the length lets the writer stream without seeking.
+type Writer struct {
+	w         *bufio.Writer
+	remaining int
+	err       error
+}
+
+// NewWriter writes the file header for a container of `sections`
+// sections and returns the writer for their payloads.
+func NewWriter(w io.Writer, sections int) (*Writer, error) {
+	if sections < 0 || sections > 1<<20 {
+		return nil, fmt.Errorf("store: implausible section count %d", sections)
+	}
+	sw := &Writer{w: bufio.NewWriterSize(w, 1<<20), remaining: sections}
+	var hdr [fileHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(sections))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		sw.err = err
+		return nil, fmt.Errorf("store: writing file header: %w", err)
+	}
+	return sw, nil
+}
+
+// crcCounter computes the running CRC and length of a section payload
+// as it streams through.
+type crcCounter struct {
+	w   io.Writer
+	crc uint64
+	n   int64
+}
+
+func (c *crcCounter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc64.Update(c.crc, crcTable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// Section writes one section: header, the payload produced by fn
+// (which must write exactly length bytes), alignment padding and the
+// payload CRC. It returns the payload's CRC64 — for the graph section
+// this value is the graph checksum the diag spill binds to.
+func (sw *Writer) Section(id uint32, length int64, fn func(io.Writer) error) (uint64, error) {
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	if sw.remaining <= 0 {
+		return 0, sw.fail(fmt.Errorf("store: more sections written than the %s header declared", "container"))
+	}
+	if length < 0 {
+		return 0, sw.fail(fmt.Errorf("store: negative section length %d", length))
+	}
+	sw.remaining--
+	var hdr [sectionHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], id)
+	binary.LittleEndian.PutUint32(hdr[4:], 0)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(length))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return 0, sw.fail(fmt.Errorf("store: writing section %d header: %w", id, err))
+	}
+	cc := &crcCounter{w: sw.w}
+	if err := fn(cc); err != nil {
+		return 0, sw.fail(fmt.Errorf("store: writing section %d payload: %w", id, err))
+	}
+	if cc.n != length {
+		return 0, sw.fail(fmt.Errorf("store: section %d payload wrote %d bytes, declared %d", id, cc.n, length))
+	}
+	if _, err := sw.w.Write(zeros[:pad8(length)]); err != nil {
+		return 0, sw.fail(fmt.Errorf("store: padding section %d: %w", id, err))
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], cc.crc)
+	if _, err := sw.w.Write(tail[:]); err != nil {
+		return 0, sw.fail(fmt.Errorf("store: writing section %d checksum: %w", id, err))
+	}
+	return cc.crc, nil
+}
+
+// Close flushes the container. It fails if fewer sections were written
+// than the header declared — the file would claim content it does not
+// have.
+func (sw *Writer) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.remaining != 0 {
+		return sw.fail(fmt.Errorf("store: %d declared sections never written", sw.remaining))
+	}
+	if err := sw.w.Flush(); err != nil {
+		return sw.fail(fmt.Errorf("store: flushing container: %w", err))
+	}
+	return nil
+}
+
+func (sw *Writer) fail(err error) error {
+	if sw.err == nil {
+		sw.err = err
+	}
+	return err
+}
+
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+func getU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

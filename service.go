@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -262,6 +263,15 @@ type Service struct {
 
 	cache *resultCache
 
+	// graphCloser, when set (OpenSnapshot), releases the mmap'd mapping
+	// backing the initial graph after the workers drain on Close.
+	// snapshots counts in-progress Snapshot streams; Close waits for it
+	// before releasing the mapping they may be reading (entries are
+	// added under closeMu.RLock with the closed flag checked, so Close
+	// cannot miss one).
+	graphCloser io.Closer
+	snapshots   sync.WaitGroup
+
 	queries   atomic.Int64
 	cacheHits atomic.Int64
 	errors    atomic.Int64
@@ -305,6 +315,14 @@ type serviceJob struct {
 
 // NewService starts a query service over g (graph epoch 1).
 func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
+	return newService(g, opts, nil)
+}
+
+// newService is NewService with an optional pre-warmed diagonal sample
+// index for epoch 1 — the snapshot-restore path (OpenSnapshot) hands
+// the spilled index straight into the first graph generation, so the
+// warmth survives the process boundary.
+func newService(g *Graph, opts ServiceOptions, restoredIdx *DiagSampleIndex) (*Service, error) {
 	if g == nil {
 		return nil, errors.New("exactsim: nil graph")
 	}
@@ -323,7 +341,11 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 		inflight:    make(map[cacheKey]*flight),
 		cache:       newResultCache(opts.CacheSize),
 	}
-	s.state.Store(s.newState(g, 1))
+	st := s.newState(g, 1)
+	if restoredIdx != nil && s.opts.DiagIndexBytes >= 0 {
+		st.diagIdx = restoredIdx
+	}
+	s.state.Store(st)
 	for w := 0; w < opts.Workers; w++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -848,4 +870,12 @@ func (s *Service) Close() {
 	}
 	s.cancelBuild()
 	s.workers.Wait()
+	if s.graphCloser != nil {
+		// Snapshot-opened services own their graph's mmap'd mapping;
+		// release it only after every in-flight query AND snapshot
+		// stream has drained. The graph (and slices derived from it)
+		// must not be used after Close.
+		s.snapshots.Wait()
+		s.graphCloser.Close()
+	}
 }

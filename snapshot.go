@@ -1,0 +1,242 @@
+package exactsim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/exactsim/exactsim/internal/diag"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/store"
+)
+
+// Snapshots make the diagonal sample index durable: everything a warm
+// serving process has paid for — the graph in instantly-loadable binary
+// CSR form, plus the epoch's accumulated diag chunks and explorations —
+// lands in one versioned, checksummed container (internal/store) that a
+// restarting process (or a fresh fleet member) opens in milliseconds.
+// The graph section is mmap'd and served zero-copy where the platform
+// allows; the diag spill is bound to (graph checksum, c, seed), so a
+// snapshot restored against the wrong graph is rejected rather than
+// silently wrong. Queries on a restored service are bit-identical to
+// queries on the process that wrote the snapshot: the graph bytes are
+// identical, every algorithm is a deterministic function of
+// (graph, seed, options), and cached diag entries are interchangeable
+// bit-for-bit with recomputation (see internal/diag).
+
+// Snapshot writes the service's current graph generation — graph plus
+// diagonal sample index spill — as a snapshot container on w. It is a
+// pure read: the service keeps serving, and the snapshot is a
+// consistent point-in-time image of one epoch. Restore it with
+// OpenSnapshot (or fetch it from a live daemon via /v1/snapshot).
+func (s *Service) Snapshot(w io.Writer) error {
+	return s.SnapshotTo(w, nil)
+}
+
+// SnapshotTo is Snapshot with a hook invoked with the epoch being
+// written, after that generation is pinned but before its first byte
+// goes out — transports use it to emit the epoch as a header on a
+// stream they cannot buffer, guaranteed to label the generation
+// actually streamed even when an Update races the call.
+func (s *Service) SnapshotTo(w io.Writer, before func(epoch uint64)) error {
+	// Register with the snapshot refcount before releasing closeMu:
+	// Close releases a snapshot-opened service's mmap'd graph and must
+	// not pull the mapping out from under a stream in progress. A
+	// refcount — not holding the read lock across the write — keeps one
+	// slow snapshot consumer from wedging the lock queue for everyone
+	// else; Close waits on it only at the very end, just before the
+	// munmap.
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ToError(ErrServiceClosed)
+	}
+	s.snapshots.Add(1)
+	s.closeMu.RUnlock()
+	defer s.snapshots.Done()
+	st := s.state.Load()
+	if before != nil {
+		before(st.epoch)
+	}
+	return writeSnapshot(w, st.g, st.diagIdx)
+}
+
+// writeSnapshot assembles one container from a graph and an optional
+// diag index.
+func writeSnapshot(w io.Writer, g *Graph, ix *DiagSampleIndex) error {
+	var spill []byte
+	if ix != nil {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return fmt.Errorf("exactsim: spilling diag index: %w", err)
+		}
+		spill = buf.Bytes()
+	}
+	sections := 1
+	if spill != nil {
+		sections = 2
+	}
+	sw, err := store.NewWriter(w, sections)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.Section(store.SectionGraph, graph.BinarySize(g), func(pw io.Writer) error {
+		return graph.EncodeCSR(pw, g)
+	}); err != nil {
+		return err
+	}
+	if spill != nil {
+		if _, err := sw.Section(store.SectionDiagIndex, int64(len(spill)), func(pw io.Writer) error {
+			_, werr := pw.Write(spill)
+			return werr
+		}); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// SaveSnapshot writes a service snapshot to path atomically (temp file
+// + rename): a crash mid-write can never leave a half-container where
+// the next boot's -snapshot flag would find it.
+func (s *Service) SaveSnapshot(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	// CreateTemp's 0600 would survive the rename; snapshots are fleet
+	// artifacts, give them normal file permissions.
+	tmp.Chmod(0o644)
+	if err := s.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// OpenSnapshot starts a Service from a snapshot container: the graph is
+// opened zero-copy (mmap-backed where possible) and the diagonal sample
+// index spill, when present and indexing is enabled, is restored into
+// the initial graph generation — so the first query after a restart
+// starts as warm as the process that wrote the snapshot. The spill's
+// binding is verified against the container's own graph section; a
+// mismatch (a grafted or tampered container) is rejected with
+// CodeInvalidArgument. The service owns the mapping and releases it on
+// Close.
+//
+// The restored index binds to the (c, seed) the writer ran with; a
+// service configured with different QuerierOptions simply serves cold
+// (the index bypasses on mismatch) — wrong options can cost the warmth,
+// never the exactness.
+func OpenSnapshot(path string, opts ServiceOptions) (*Service, error) {
+	f, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g, aliased, err := graph.FromContainer(f)
+	if err != nil {
+		f.Close()
+		return nil, Errorf(CodeInvalidArgument, "exactsim: %v", err)
+	}
+
+	var restored *DiagSampleIndex
+	if sec, ok := f.Section(store.SectionDiagIndex); ok && opts.DiagIndexBytes >= 0 {
+		ix := NewDiagSampleIndex(opts.DiagIndexBytes)
+		if _, err := ix.ReadFrom(bytes.NewReader(sec.Payload)); err != nil {
+			f.Close()
+			return nil, Errorf(CodeInvalidArgument, "exactsim: %v", err)
+		}
+		if _, pending := ix.RestoredChecksum(); pending {
+			// Bind the spill to the graph that arrived in the same
+			// container. The graph's checksum is the verified section CRC,
+			// so this is an O(1) comparison — and it catches containers
+			// whose sections come from different graphs.
+			if err := ix.BindRestored(g); err != nil {
+				f.Close()
+				return nil, Errorf(CodeInvalidArgument, "exactsim: %v", err)
+			}
+		}
+		restored = ix
+	}
+
+	s, err := newService(g, opts, restored)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if aliased {
+		// The graph aliases the container: the service owns both and
+		// releases the mapping on Close.
+		s.graphCloser = g
+	} else {
+		f.Close()
+	}
+	return s, nil
+}
+
+// InspectSnapshot describes a snapshot container without starting a
+// service: section shapes, the graph's degree structure, and the diag
+// spill binding. The graph section is fully validated (checksums always
+// are); cmd/snapshot's inspect command prints the result.
+type SnapshotInfo struct {
+	// Mapped reports whether this open used the zero-copy mmap path.
+	Mapped bool
+	// Sections lists the container sections in file order.
+	Sections []SnapshotSection
+	// GraphStats summarizes the graph section.
+	GraphStats GraphStats
+	// GraphChecksum is the graph section's verified CRC64 — the identity
+	// the diag spill binds to.
+	GraphChecksum uint64
+	// Diag holds the spill header when the container carries one.
+	Diag *diag.SpillInfo
+}
+
+// SnapshotSection is one section of an inspected container.
+type SnapshotSection struct {
+	ID     uint32
+	Offset int64
+	Bytes  int64
+	CRC    uint64
+}
+
+// InspectSnapshot opens, verifies and summarizes a snapshot container.
+func InspectSnapshot(path string) (*SnapshotInfo, error) {
+	f, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info := &SnapshotInfo{Mapped: f.Mapped()}
+	for _, sec := range f.Sections() {
+		info.Sections = append(info.Sections, SnapshotSection{
+			ID: sec.ID, Offset: sec.Offset, Bytes: int64(len(sec.Payload)), CRC: sec.CRC,
+		})
+	}
+	g, _, err := graph.FromContainer(f)
+	if err != nil {
+		return nil, err
+	}
+	info.GraphStats = Stats(g)
+	info.GraphChecksum = g.Checksum()
+	if sec, ok := f.Section(store.SectionDiagIndex); ok {
+		di, err := diag.ReadSpillInfo(bytes.NewReader(sec.Payload))
+		if err != nil {
+			return nil, err
+		}
+		info.Diag = &di
+	}
+	return info, nil
+}
+
+// OpenBinary opens a binary graph file zero-copy: where the platform
+// allows, the file is mmap'd and the graph's CSR arrays alias the
+// mapping (no parsing, no allocation — Close the graph to release it).
+// Elsewhere the same call transparently decodes into memory.
+func OpenBinary(path string) (*Graph, error) { return graph.OpenBinary(path) }

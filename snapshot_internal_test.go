@@ -1,0 +1,128 @@
+package exactsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/store"
+)
+
+// TestOpenSnapshotRejectsModifiedGraph grafts a diag spill written for
+// one graph onto a container carrying a different graph — the "restore
+// against a modified graph" failure the checksum binding exists to
+// catch. OpenSnapshot must reject with invalid_argument instead of
+// serving wrong-graph chunks.
+func TestOpenSnapshotRejectsModifiedGraph(t *testing.T) {
+	gA := GenerateBarabasiAlbert(300, 3, 1)
+	svc, err := NewService(gA, ServiceOptions{
+		CacheSize:      -1,
+		QuerierOptions: []QuerierOption{WithSeed(5), WithEpsilon(0.05)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := svc.Query(context.Background(), Request{Source: 0}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	var spill bytes.Buffer
+	if _, err := svc.state.Load().diagIdx.WriteTo(&spill); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	// Same shape, different edges: the kind of "same file name, modified
+	// graph" drift a deployment pipeline can produce.
+	gB := GenerateBarabasiAlbert(300, 3, 2)
+	path := filepath.Join(t.TempDir(), "grafted.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := store.NewWriter(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Section(store.SectionGraph, graph.BinarySize(gB), func(w io.Writer) error {
+		return graph.EncodeCSR(w, gB)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Section(store.SectionDiagIndex, int64(spill.Len()), func(w io.Writer) error {
+		_, werr := w.Write(spill.Bytes())
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenSnapshot(path, ServiceOptions{})
+	if err == nil {
+		t.Fatal("grafted snapshot accepted")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Code != CodeInvalidArgument {
+		t.Fatalf("grafted snapshot rejected with %v, want code %q", err, CodeInvalidArgument)
+	}
+
+	// The same container with indexing disabled is fine — only the graph
+	// section is consumed, and it is internally consistent.
+	opts := ServiceOptions{DiagIndexBytes: -1}
+	s2, err := OpenSnapshot(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}
+
+// TestSnapshotRestoredStateWiring pins the internal invariant the
+// public round-trip test relies on: the restored index object IS the
+// epoch-1 graphState's index (no copy, no rebuild), and snapshot-opened
+// services release their mapping on Close.
+func TestSnapshotRestoredStateWiring(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 4)
+	svc, err := NewService(g, ServiceOptions{
+		CacheSize:      -1,
+		QuerierOptions: []QuerierOption{WithSeed(2), WithEpsilon(0.05)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := svc.Query(context.Background(), Request{Source: 1}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	path := filepath.Join(t.TempDir(), "w.snap")
+	if err := svc.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	restored, err := OpenSnapshot(path, ServiceOptions{
+		CacheSize:      -1,
+		QuerierOptions: []QuerierOption{WithSeed(2), WithEpsilon(0.05)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := restored.state.Load()
+	if st.epoch != 1 || st.diagIdx == nil {
+		t.Fatalf("restored state epoch=%d diagIdx=%v", st.epoch, st.diagIdx)
+	}
+	if st.diagIdx.Stats().Chunks == 0 {
+		t.Fatal("restored state's index is empty")
+	}
+	if st.g.Mapped() && restored.graphCloser == nil {
+		t.Fatal("mmap-backed graph but no closer wired: Close would leak the mapping")
+	}
+	restored.Close()
+}

@@ -1,0 +1,262 @@
+package exactsim_test
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+func snapshotServiceOptions() exactsim.ServiceOptions {
+	return exactsim.ServiceOptions{
+		Workers:   4,
+		CacheSize: -1, // force recomputation so the diag index does the warm work
+		QuerierOptions: []exactsim.QuerierOption{
+			exactsim.WithSeed(42),
+			exactsim.WithEpsilon(0.02),
+		},
+	}
+}
+
+func mustQuery(t *testing.T, s *exactsim.Service, src exactsim.NodeID) *exactsim.QueryResult {
+	t.Helper()
+	resp := s.Query(context.Background(), exactsim.Request{Source: src})
+	if resp.Err != nil {
+		t.Fatalf("query %d: %v", src, resp.Err)
+	}
+	return resp.Result
+}
+
+func scoresBitEqual(a, b []float64) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestSnapshotRoundTripDeterminism is the acceptance proof: a
+// single-source query on a snapshot-restored Service is bit-identical
+// to the writer's result — warmed sources and never-seen sources alike
+// — and the restored index serves the writer's chunks without a single
+// recomputation.
+func TestSnapshotRoundTripDeterminism(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(500, 4, 7)
+	writer, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	warmed := []exactsim.NodeID{0, 3, 17, 101, 499}
+	ref := make(map[exactsim.NodeID][]float64)
+	for _, src := range warmed {
+		ref[src] = mustQuery(t, writer, src).Scores
+	}
+	writerStats := writer.Stats()
+	if writerStats.DiagChunks == 0 {
+		t.Fatal("writer accumulated no diag chunks; the restore test would be vacuous")
+	}
+
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	if err := writer.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// The writer answers this one AFTER the snapshot: the restored side
+	// must agree bit-for-bit even for sources the spill never saw.
+	coldSrc := exactsim.NodeID(250)
+	ref[coldSrc] = mustQuery(t, writer, coldSrc).Scores
+
+	restored, err := exactsim.OpenSnapshot(path, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if st := restored.Stats(); !st.DiagIndexEnabled || st.DiagChunks != writerStats.DiagChunks {
+		t.Fatalf("restored diag index has %d chunks, writer had %d", st.DiagChunks, writerStats.DiagChunks)
+	}
+	if restored.Epoch() != 1 {
+		t.Fatalf("restored service starts at epoch %d, want 1", restored.Epoch())
+	}
+	if restored.Graph().N() != g.N() || restored.Graph().M() != g.M() {
+		t.Fatal("restored graph shape differs")
+	}
+
+	for src, want := range ref {
+		got := mustQuery(t, restored, src).Scores
+		if i, ok := scoresBitEqual(want, got); !ok {
+			t.Fatalf("source %d diverges at index %d: writer %v restored %v",
+				src, i, want[i], got[i])
+		}
+	}
+	// Warmed sources must have been answered entirely from restored
+	// chunks: zero misses until the cold source touched new cells.
+	st := restored.Stats()
+	if st.DiagHits == 0 {
+		t.Fatal("restored index served no hits")
+	}
+}
+
+// TestSnapshotWithoutDiagIndex covers the graph-only container: a
+// service with indexing disabled still snapshots and restores.
+func TestSnapshotWithoutDiagIndex(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(300, 3, 5)
+	opts := snapshotServiceOptions()
+	opts.DiagIndexBytes = -1
+	writer, err := exactsim.NewService(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	want := mustQuery(t, writer, 42).Scores
+
+	path := filepath.Join(t.TempDir(), "noidx.snap")
+	if err := writer.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := exactsim.OpenSnapshot(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if st := restored.Stats(); st.DiagIndexEnabled {
+		t.Fatal("indexing disabled but restored service has an index")
+	}
+	if i, ok := scoresBitEqual(want, mustQuery(t, restored, 42).Scores); !ok {
+		t.Fatalf("scores diverge at %d", i)
+	}
+}
+
+// TestSnapshotRestoreIgnoresSpillWhenDisabled: a snapshot carrying a
+// spill restores fine into a service configured without indexing, and
+// answers exactly like any other index-free service on that graph.
+// (Index-attached and index-free configurations quantize sample
+// allowances differently by design, so the baseline here is an
+// index-free service, not the index-carrying writer.)
+func TestSnapshotRestoreIgnoresSpillWhenDisabled(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(300, 3, 5)
+	writer, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	mustQuery(t, writer, 7) // populate the spill
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	if err := writer.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := snapshotServiceOptions()
+	opts.DiagIndexBytes = -1
+	baseline, err := exactsim.NewService(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseline.Close()
+	want := mustQuery(t, baseline, 7).Scores
+
+	restored, err := exactsim.OpenSnapshot(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if st := restored.Stats(); st.DiagIndexEnabled {
+		t.Fatal("index restored despite being disabled")
+	}
+	if i, ok := scoresBitEqual(want, mustQuery(t, restored, 7).Scores); !ok {
+		t.Fatalf("scores diverge at %d", i)
+	}
+}
+
+// TestSnapshotInspect sanity-checks the inspection path against a live
+// service's own gauges.
+func TestSnapshotInspect(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(300, 3, 9)
+	svc, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	mustQuery(t, svc, 1)
+	st := svc.Stats()
+
+	path := filepath.Join(t.TempDir(), "i.snap")
+	if err := svc.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := exactsim.InspectSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Sections) != 2 {
+		t.Fatalf("sections = %d, want graph + diag", len(info.Sections))
+	}
+	if info.GraphStats.N != g.N() || info.GraphStats.M != g.M() {
+		t.Fatalf("inspect graph stats %+v", info.GraphStats)
+	}
+	if info.Diag == nil {
+		t.Fatal("inspect lost the diag section")
+	}
+	if !info.Diag.Bound || info.Diag.Seed != 42 {
+		t.Fatalf("inspect diag binding %+v", info.Diag)
+	}
+	if info.Diag.Chunks != st.DiagChunks || info.Diag.Explores != st.DiagExplores {
+		t.Fatalf("inspect counts %d/%d vs stats %d/%d",
+			info.Diag.Chunks, info.Diag.Explores, st.DiagChunks, st.DiagExplores)
+	}
+	if info.GraphChecksum == 0 {
+		t.Fatal("zero graph checksum")
+	}
+}
+
+// TestSnapshotOnClosedService: Snapshot after Close answers with the
+// closed error, not a partial container.
+func TestSnapshotOnClosedService(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(100, 3, 1)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if err := svc.SaveSnapshot(filepath.Join(t.TempDir(), "x.snap")); err == nil {
+		t.Fatal("snapshot of a closed service succeeded")
+	}
+}
+
+// TestOpenBinaryServesQueries: an mmap-backed graph drops into the
+// regular serving path and answers identically to its heap twin.
+func TestOpenBinaryServesQueries(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(300, 3, 3)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := exactsim.SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := exactsim.OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+
+	heapSvc, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heapSvc.Close()
+	mmSvc, err := exactsim.NewService(mm, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mmSvc.Close()
+
+	want := mustQuery(t, heapSvc, 11).Scores
+	got := mustQuery(t, mmSvc, 11).Scores
+	if i, ok := scoresBitEqual(want, got); !ok {
+		t.Fatalf("mmap-backed scores diverge at %d", i)
+	}
+}

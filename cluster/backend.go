@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// backend is one fleet member as the router sees it: a protocol client
+// plus the membership and load state routing decisions read. Hot-path
+// fields are atomics; the consec* poll counters belong to the poller
+// goroutine alone (serialized by pollMu).
+type backend struct {
+	url    string
+	client *httpapi.Client
+
+	// healthy gates routing. It flips false on FailThreshold consecutive
+	// poll failures or EpochLagPolls consecutive polls behind the fleet
+	// epoch, and back true on a clean, caught-up poll.
+	healthy atomic.Bool
+
+	// inflight counts this router's queries currently on the wire to
+	// this backend — the bounded-load signal (distinct from the
+	// backend's own InFlight gauge, which includes other routers).
+	inflight atomic.Int64
+
+	// ejections counts healthy→unhealthy transitions.
+	ejections atomic.Int64
+
+	// stats is the last successfully polled gauge snapshot (nil before
+	// the first success). Shedding and the aggregated fleet stats read
+	// it lock-free.
+	stats atomic.Pointer[exactsim.ServiceStats]
+
+	// lastPollErr is the last poll's failure text ("" on success), for
+	// the fleet stats view. Guarded by pollMu via the poll cycle.
+	lastPollErr atomic.Pointer[string]
+
+	// Poller-owned counters (only touched under Router.pollMu).
+	consecFails int
+	epochLag    int
+}
+
+func newBackend(url string, hc *httpapiClientConfig) (*backend, error) {
+	c, err := httpapi.NewClient(url, hc.clientOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	empty := ""
+	b := &backend{url: url, client: c}
+	b.lastPollErr.Store(&empty)
+	return b, nil
+}
+
+// httpapiClientConfig carries the shared *http.Client into backend
+// construction without re-deciding the default at every call site.
+type httpapiClientConfig struct {
+	hc *http.Client
+}
+
+func (c *httpapiClientConfig) clientOptions() []httpapi.ClientOption {
+	if c.hc == nil {
+		return nil // httpapi.Client's shared pooled transport
+	}
+	return []httpapi.ClientOption{httpapi.WithHTTPClient(c.hc)}
+}
+
+// saturated reports whether the backend's last-polled gauges are over
+// the shed thresholds. A backend that has never answered a poll is not
+// saturated — health gating covers it.
+func (b *backend) saturated(o *Options) bool {
+	st := b.stats.Load()
+	if st == nil {
+		return false
+	}
+	if o.ShedQueueDepth > 0 && st.QueueDepth >= o.ShedQueueDepth {
+		return true
+	}
+	if o.ShedInFlight > 0 && st.InFlight >= o.ShedInFlight {
+		return true
+	}
+	return false
+}
+
+// epoch returns the backend's last-polled graph epoch (0 before the
+// first successful poll).
+func (b *backend) epoch() uint64 {
+	if st := b.stats.Load(); st != nil {
+		return st.GraphEpoch
+	}
+	return 0
+}
+
+// setHealthy flips the health flag, counting eject transitions.
+func (b *backend) setHealthy(v bool) {
+	was := b.healthy.Swap(v)
+	if was && !v {
+		b.ejections.Add(1)
+	}
+}
+
+// Poll runs one full membership cycle synchronously: every backend is
+// probed for readiness and stats concurrently, then health and epoch-lag
+// state is updated from the results. The background poller calls this on
+// its ticker; tests call it directly for deterministic membership
+// transitions.
+func (r *Router) Poll(ctx context.Context) {
+	r.pollMu.Lock()
+	defer r.pollMu.Unlock()
+
+	backends := r.snapshot()
+	type pollResult struct {
+		st  exactsim.ServiceStats
+		err error
+	}
+	results := make([]pollResult, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, r.opts.PollTimeout)
+			defer cancel()
+			// Readiness, not liveness: a draining replica answers
+			// /healthz 200 while it finishes in-flight work, but must
+			// stop receiving new queries — /readyz says so.
+			if err := b.client.Ready(pctx); err != nil {
+				results[i] = pollResult{err: err}
+				return
+			}
+			st, err := b.client.Stats(pctx)
+			results[i] = pollResult{st: st, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+
+	// Fleet max epoch over this cycle's successful polls.
+	var maxEpoch uint64
+	for i := range results {
+		if results[i].err == nil && results[i].st.GraphEpoch > maxEpoch {
+			maxEpoch = results[i].st.GraphEpoch
+		}
+	}
+
+	for i, b := range backends {
+		res := results[i]
+		if res.err != nil {
+			msg := res.err.Error()
+			b.lastPollErr.Store(&msg)
+			b.consecFails++
+			if b.consecFails >= r.opts.FailThreshold || b.stats.Load() == nil {
+				b.setHealthy(false)
+			}
+			continue
+		}
+		empty := ""
+		b.lastPollErr.Store(&empty)
+		b.consecFails = 0
+		st := res.st
+		b.stats.Store(&st)
+		if st.GraphEpoch < maxEpoch {
+			b.epochLag++
+			if b.epochLag >= r.opts.EpochLagPolls {
+				b.setHealthy(false)
+			}
+			continue
+		}
+		b.epochLag = 0
+		b.setHealthy(true)
+	}
+}
+
+// pollLoop is the background membership goroutine.
+func (r *Router) pollLoop() {
+	defer r.pollWG.Done()
+	t := time.NewTicker(r.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.pollCtx.Done():
+			return
+		case <-t.C:
+			r.Poll(r.pollCtx)
+		}
+	}
+}

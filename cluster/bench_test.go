@@ -1,0 +1,155 @@
+package cluster_test
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/cluster"
+)
+
+// benchServiceTime is the emulated per-replica service time for the
+// fleet-scaling benchmark. Loopback replicas share the host's cores, so
+// real compute cannot demonstrate fleet scaling on a small CI runner;
+// instead each replica serializes its queries behind a fixed service
+// time (gate.serial) — per-replica capacity is then 1/benchServiceTime
+// and any throughput gain beyond that is the router spreading load
+// across replicas, which is the property under test.
+const benchServiceTime = 6 * time.Millisecond
+
+// benchFleet stands up n loopback replicas over one graph with warmed
+// caches, then arms the capacity gate on each.
+func benchFleet(b *testing.B, n int) *cluster.Router {
+	b.Helper()
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 1)
+	members, urls := startFleet(b, g, n, exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+	})
+	opts := manualPollOptions()
+	opts.DisableHedging = true
+	r, err := cluster.New(urls, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(r.Close)
+	ctx := context.Background()
+	for src := 0; src < 200; src++ {
+		if resp := r.Query(ctx, exactsim.Request{Source: exactsim.NodeID(src)}); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+	for _, m := range members {
+		m.gate.delay.Store(int64(benchServiceTime))
+		m.gate.delayEvery.Store(1)
+		m.gate.serial.Store(true)
+	}
+	return r
+}
+
+// BenchmarkRouterFleet measures routed throughput against replica count
+// with fixed per-replica capacity (see benchServiceTime). ns/op dropping
+// — and the qps extra metric rising — as replicas are added is the
+// fleet tier doing its job: consistent-hash spread plus bounded-load
+// spill keeps every replica busy without piling onto one.
+func BenchmarkRouterFleet(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "replicas=1", 2: "replicas=2", 4: "replicas=4"}[replicas], func(b *testing.B) {
+			r := benchFleet(b, replicas)
+			ctx := context.Background()
+			b.SetParallelism(8 / runtime.GOMAXPROCS(0) * replicas)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					src := exactsim.NodeID((i * 13) % 200)
+					if resp := r.Query(ctx, exactsim.Request{Source: src}); resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "qps")
+			}
+		})
+	}
+}
+
+// BenchmarkRouterTail measures tail latency with an induced straggler:
+// one of two replicas stalls every 20th query for 25ms. Unhedged, those
+// stalls are the p99. Hedged, the router races a stalled query on the
+// second replica after the tracked p95 delay, and the p99 collapses to
+// roughly hedge-delay + one fast query. Replica determinism is what
+// makes taking the racing answer sound.
+func BenchmarkRouterTail(b *testing.B) {
+	const (
+		stall      = 25 * time.Millisecond
+		stallEvery = 20
+	)
+	for _, hedged := range []bool{false, true} {
+		name := "hedged=false"
+		if hedged {
+			name = "hedged=true"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := exactsim.GenerateBarabasiAlbert(500, 3, 1)
+			members, urls := startFleet(b, g, 2, exactsim.ServiceOptions{
+				Workers:        2,
+				QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+			})
+			opts := manualPollOptions()
+			opts.DisableHedging = !hedged
+			opts.HedgeMinDelay = 500 * time.Microsecond
+			r, err := cluster.New(urls, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(r.Close)
+
+			ctx := context.Background()
+			// Warm every replica's result cache for the whole source set —
+			// a steady-state fleet converges there via hedges and spills —
+			// so a hedge rescue costs a cache hit, not a cold compute.
+			for _, m := range members {
+				for i := 0; i < 64; i++ {
+					if resp := m.svc.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i)}); resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+			}
+			// Then warm the latency tracker on clean routed traffic before
+			// arming the straggler.
+			for i := 0; i < 64; i++ {
+				if resp := r.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i)}); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+			members[1].gate.delay.Store(int64(stall))
+			members[1].gate.delayEvery.Store(stallEvery)
+
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := exactsim.NodeID(i % 64)
+				start := time.Now()
+				if resp := r.Query(ctx, exactsim.Request{Source: src}); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			q := func(p float64) float64 {
+				idx := int(p * float64(len(lat)-1))
+				return float64(lat[idx].Nanoseconds())
+			}
+			b.ReportMetric(q(0.50), "p50-ns/op")
+			b.ReportMetric(q(0.99), "p99-ns/op")
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// CloneFromPeer bootstraps a joining replica's state: it downloads the
+// snapshot container — graph CSR plus spilled diagonal sample index —
+// from a warm peer (an exactsimd, or a router which proxies its warmest
+// replica) and writes it to path atomically. Boot the new replica with
+// `exactsimd -snapshot <path>` (or exactsim.OpenSnapshot) and it
+// answers its first query with the peer's chunks already resident
+// instead of cold-sampling everything the fleet has already paid for.
+//
+// The container is self-checksummed: a transfer truncated mid-stream
+// fails to open rather than booting a half-warm replica, and the
+// temp-file + rename means a crashed clone never leaves a corrupt file
+// at path. Returns the byte count and the graph epoch the peer
+// reported.
+func CloneFromPeer(ctx context.Context, peerURL, path string, opts ...httpapi.ClientOption) (int64, uint64, error) {
+	c, err := httpapi.NewClient(peerURL, opts...)
+	if err != nil {
+		return 0, 0, err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".clone-*")
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: clone temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	n, epoch, err := c.Snapshot(ctx, tmp)
+	if err != nil {
+		tmp.Close()
+		return n, epoch, fmt.Errorf("cluster: cloning from %s: %w", peerURL, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return n, epoch, err
+	}
+	if err := tmp.Close(); err != nil {
+		return n, epoch, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return n, epoch, err
+	}
+	return n, epoch, nil
+}

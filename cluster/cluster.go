@@ -1,0 +1,145 @@
+// Package cluster composes N exactsimd backends into one serving fleet:
+// a Router that speaks the same wire protocol the backends do (so
+// httpapi.Client and every existing caller work against it unchanged)
+// and fans queries across replicas by consistent-hash source routing.
+//
+// The design leans on two properties the lower layers already guarantee:
+//
+//   - Determinism: every replica configured with the same (graph, c,
+//     seed, ε) answers bit-identically, so racing two replicas (hedging)
+//     or retrying on a second one after a failure can never return a
+//     different answer — only a faster one.
+//   - Source-keyed warmth: the diagonal sample index makes a replica
+//     fast for the chunk cells its past queries touched. Routing by
+//     source keeps each source's traffic on one replica, so the fleet's
+//     aggregate index capacity is the *sum* of the replicas' budgets
+//     instead of N copies of the same hot set.
+//
+// The moving parts (DESIGN.md §9):
+//
+//   - ring.go: consistent-hash ring, vnode-weighted, keyed by source.
+//   - Bounded-load rebalancing: a replica whose router-side in-flight
+//     count exceeds BoundedLoadFactor × the fleet mean is demoted for
+//     this query; the next ring candidate takes it.
+//   - backend.go: health- and epoch-aware membership. A poller hits
+//     /readyz and /v1/stats; consecutive failures eject a replica,
+//     falling behind the fleet's max graph epoch ejects it too, and
+//     recovery (health back + epoch caught up) re-admits it.
+//   - hedge.go + router.go: hedged requests. A latency tracker keeps the
+//     recent window; once a query outlives the HedgeQuantile latency, a
+//     second replica races it and the first answer wins.
+//   - Load shedding: replicas whose reported QueueDepth/InFlight gauges
+//     saturate are skipped; when every healthy replica is saturated the
+//     router answers "unavailable" immediately instead of queueing.
+//   - bootstrap.go: CloneFromPeer pulls /v1/snapshot from a warm peer so
+//     a joining replica starts with graph and diag chunks resident.
+//
+// See cmd/exactsim-router for the daemon.
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// Options tunes a Router. The zero value is production-usable.
+type Options struct {
+	// Vnodes is the virtual node count per backend on the hash ring.
+	// 0 selects 64 (keeps the per-backend arc spread even at small N).
+	Vnodes int
+
+	// BoundedLoadFactor caps a replica's share of the router's in-flight
+	// queries at factor × fleet mean before routing spills to the next
+	// ring candidate. 0 selects 1.25; values < 1 are treated as 1.
+	BoundedLoadFactor float64
+
+	// HedgeQuantile is the latency quantile after which a still-pending
+	// query is hedged on a second replica. 0 selects 0.95.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay so microsecond cache-hit
+	// windows don't cause a hedge storm. 0 selects 1ms.
+	HedgeMinDelay time.Duration
+	// HedgeMaxDelay caps the hedge delay. 0 selects 1s.
+	HedgeMaxDelay time.Duration
+	// DisableHedging turns hedged requests off (retries still happen).
+	DisableHedging bool
+
+	// MaxAttempts bounds how many distinct replicas one query may touch
+	// (first try + retries + the hedge). 0 selects 3; the fleet size is
+	// always an upper bound.
+	MaxAttempts int
+
+	// ShedQueueDepth skips a replica whose last-polled QueueDepth gauge
+	// is at or above this. 0 selects 128; negative disables the check.
+	ShedQueueDepth int
+	// ShedInFlight skips a replica whose last-polled InFlight gauge is
+	// at or above this. 0 disables the check (QueueDepth is the primary
+	// saturation signal — work waits there before it runs).
+	ShedInFlight int
+
+	// PollInterval is the membership poll period. 0 selects 1s; negative
+	// disables the background poller entirely (tests drive Poll by hand).
+	PollInterval time.Duration
+	// PollTimeout bounds one poll round-trip. 0 selects half the poll
+	// interval, clamped to [100ms, 2s].
+	PollTimeout time.Duration
+	// FailThreshold is the consecutive poll-failure count that ejects a
+	// replica. 0 selects 2 (one blip survives, a dead process doesn't).
+	FailThreshold int
+	// EpochLagPolls is how many consecutive polls a replica may trail
+	// the fleet's max graph epoch before it is ejected. 0 selects 2 —
+	// one poll of grace for the normal rolling-update window where
+	// replicas momentarily disagree.
+	EpochLagPolls int
+
+	// HTTPClient overrides the *http.Client used for backend traffic.
+	// nil selects httpapi's shared pooled transport, which the router
+	// depends on under fan-out load: per-request connections would
+	// exhaust ephemeral ports.
+	HTTPClient *http.Client
+}
+
+func (o *Options) normalize() {
+	if o.Vnodes <= 0 {
+		o.Vnodes = 64
+	}
+	if o.BoundedLoadFactor == 0 {
+		o.BoundedLoadFactor = 1.25
+	}
+	if o.BoundedLoadFactor < 1 {
+		o.BoundedLoadFactor = 1
+	}
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0.95
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = time.Millisecond
+	}
+	if o.HedgeMaxDelay <= 0 {
+		o.HedgeMaxDelay = time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.ShedQueueDepth == 0 {
+		o.ShedQueueDepth = 128
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = time.Second
+	}
+	if o.PollTimeout <= 0 {
+		o.PollTimeout = o.PollInterval / 2
+		if o.PollTimeout < 100*time.Millisecond {
+			o.PollTimeout = 100 * time.Millisecond
+		}
+		if o.PollTimeout > 2*time.Second {
+			o.PollTimeout = 2 * time.Second
+		}
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.EpochLagPolls <= 0 {
+		o.EpochLagPolls = 2
+	}
+}

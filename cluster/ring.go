@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend owns
+// Vnodes points on the ring; a query key (the source node) walks the ring
+// clockwise from its hash and yields each *distinct* backend once, in a
+// stable preference order. Source affinity is the point: the same source
+// lands on the same replica across queries (maximizing that replica's
+// diagonal sample index hit rate for the chunks its touched nodes need),
+// and adding or removing one replica remaps only ~1/N of the key space
+// instead of reshuffling everything.
+type ring struct {
+	hashes []uint64 // sorted point hashes
+	owners []int    // owners[i] = backend index owning hashes[i]
+	n      int      // distinct backend count
+}
+
+// buildRing places vnodes points per id. The ids are hashed by name (the
+// backend URL), not by slice position, so membership changes move as few
+// keys as possible.
+func buildRing(ids []string, vnodes int) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, len(ids)*vnodes),
+		owners: make([]int, 0, len(ids)*vnodes),
+		n:      len(ids),
+	}
+	type point struct {
+		h     uint64
+		owner int
+	}
+	pts := make([]point, 0, len(ids)*vnodes)
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{h: pointHash(id, v), owner: i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].h != pts[b].h {
+			return pts[a].h < pts[b].h
+		}
+		// Ties (vanishingly rare) break by owner so the ring is a pure
+		// function of the membership set.
+		return pts[a].owner < pts[b].owner
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.owner)
+	}
+	return r
+}
+
+// candidates appends to out the distinct backend indices in ring order
+// starting at key's successor point — the full routing preference order
+// for this key. len(out) == r.n afterwards.
+func (r *ring) candidates(key uint64, out []int) []int {
+	if r.n == 0 || len(r.hashes) == 0 {
+		return out
+	}
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= key })
+	seen := make([]bool, r.n)
+	found := 0
+	for i := 0; i < len(r.hashes) && found < r.n; i++ {
+		owner := r.owners[(start+i)%len(r.hashes)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+			found++
+		}
+	}
+	return out
+}
+
+// pointHash hashes one (backend id, virtual node) ring point.
+func pointHash(id string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(vnode)))
+	return h.Sum64()
+}
+
+// keyHash spreads a source node id over the ring's key space. Source ids
+// are small dense integers; splitmix64's finalizer turns them into
+// uniform 64-bit keys so consecutive sources don't clump on one arc.
+func keyHash(source int64) uint64 {
+	z := uint64(source) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

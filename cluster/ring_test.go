@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingCandidatesDistinctAndComplete(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := buildRing(ids, 64)
+	for key := int64(0); key < 200; key++ {
+		cands := r.candidates(keyHash(key), nil)
+		if len(cands) != len(ids) {
+			t.Fatalf("key %d: %d candidates, want %d", key, len(cands), len(ids))
+		}
+		seen := map[int]bool{}
+		for _, c := range cands {
+			if c < 0 || c >= len(ids) {
+				t.Fatalf("key %d: candidate %d out of range", key, c)
+			}
+			if seen[c] {
+				t.Fatalf("key %d: duplicate candidate %d", key, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestRingAffinityAndSpread(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := buildRing(ids, 64)
+	counts := make([]int, len(ids))
+	const keys = 3000
+	for key := int64(0); key < keys; key++ {
+		first := r.candidates(keyHash(key), nil)[0]
+		again := r.candidates(keyHash(key), nil)[0]
+		if first != again {
+			t.Fatalf("key %d: primary not stable (%d then %d)", key, first, again)
+		}
+		counts[first]++
+	}
+	// vnode-weighted consistent hashing is not perfectly even, but no
+	// backend should own a wildly skewed share of the key space.
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("backend %d owns %.0f%% of keys: %v", i, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnMembershipChange(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before := buildRing(ids, 64)
+	after := buildRing(ids[:3], 64) // d leaves
+
+	const keys = 2000
+	moved := 0
+	for key := int64(0); key < keys; key++ {
+		b := before.candidates(keyHash(key), nil)[0]
+		a := after.candidates(keyHash(key), nil)[0]
+		if before.owners != nil && b != 3 && ids[b] != ids[a] {
+			moved++
+		}
+	}
+	// Keys not owned by the departed backend should essentially all stay
+	// put — that is the consistent-hashing contract. Allow a tiny slack
+	// for hash-boundary coincidences.
+	if moved > keys/20 {
+		t.Fatalf("%d/%d keys moved off surviving backends", moved, keys)
+	}
+}
+
+func TestRingSingleBackend(t *testing.T) {
+	r := buildRing([]string{"http://only:1"}, 8)
+	for key := int64(0); key < 16; key++ {
+		cands := r.candidates(keyHash(key), nil)
+		if len(cands) != 1 || cands[0] != 0 {
+			t.Fatalf("key %d: %v", key, cands)
+		}
+	}
+}
+
+func TestRingEmptyIsSafe(t *testing.T) {
+	r := buildRing(nil, 64)
+	if got := r.candidates(keyHash(7), nil); len(got) != 0 {
+		t.Fatalf("empty ring yielded %v", got)
+	}
+}
+
+func TestKeyHashSpreads(t *testing.T) {
+	// Consecutive small source ids must not collide or cluster into a
+	// few values (they feed ring arcs directly).
+	seen := map[uint64]int64{}
+	for key := int64(0); key < 10000; key++ {
+		h := keyHash(key)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("keyHash collision: %d and %d", prev, key)
+		}
+		seen[h] = key
+	}
+}
+
+func BenchmarkRingCandidates(b *testing.B) {
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://backend-%d:8640", i)
+	}
+	r := buildRing(ids, 64)
+	out := make([]int, 0, len(ids))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = r.candidates(keyHash(int64(i)), out[:0])
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// FleetStats is the router's aggregated view of the fleet. It embeds an
+// exactsim.ServiceStats whose counters and gauges are *sums* across the
+// replicas' last-polled stats (GraphEpoch is the fleet max, DiagHitRate
+// is recomputed from the summed hit/miss counters), so GET /v1/stats on
+// a router decodes into the same ServiceStats shape clients already
+// read — httpapi.Client.Stats works against a router unchanged — while
+// the extra fields carry the fleet-level story.
+type FleetStats struct {
+	exactsim.ServiceStats
+
+	// Backends is the per-replica detail, ordered as registered.
+	Backends []BackendStats `json:"backends"`
+
+	// HealthyBackends counts replicas currently admitted by membership.
+	HealthyBackends int `json:"healthy_backends"`
+
+	// RouterQueries / RouterErrors count requests through this router
+	// (the embedded Queries/Errors sums are fleet-wide and include
+	// traffic from other routers and direct clients).
+	RouterQueries int64 `json:"router_queries"`
+	RouterErrors  int64 `json:"router_errors"`
+	// Retries counts failed attempts absorbed by the next ring
+	// candidate; Hedged counts hedge launches, HedgeWins the hedges
+	// whose answer arrived first; Shed counts queries rejected early
+	// because every healthy replica was saturated.
+	Retries   int64 `json:"retries"`
+	Hedged    int64 `json:"hedged"`
+	HedgeWins int64 `json:"hedge_wins"`
+	Shed      int64 `json:"shed"`
+	// HedgeDelayNanos is the current straggler threshold (0 until the
+	// latency tracker has enough samples).
+	HedgeDelayNanos int64 `json:"hedge_delay_ns"`
+}
+
+// BackendStats is one replica's slice of the fleet view.
+type BackendStats struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// RouterInFlight is this router's in-wire query count against the
+	// replica (the bounded-load signal).
+	RouterInFlight int64 `json:"router_in_flight"`
+	// Ejections counts healthy→unhealthy membership transitions.
+	Ejections int64 `json:"ejections"`
+	// LastPollError is the most recent poll failure ("" when the last
+	// poll succeeded).
+	LastPollError string `json:"last_poll_error,omitempty"`
+	// Stats is the replica's last successfully polled snapshot (zero
+	// before the first success).
+	Stats exactsim.ServiceStats `json:"stats"`
+}
+
+// Stats assembles the fleet view from membership state and the latest
+// poll snapshots — no network round trips, so it is cheap enough for a
+// load balancer to scrape aggressively.
+func (r *Router) Stats() FleetStats {
+	backends := r.snapshot()
+	out := FleetStats{
+		RouterQueries: r.queries.Load(),
+		RouterErrors:  r.errors.Load(),
+		Retries:       r.retries.Load(),
+		Hedged:        r.hedged.Load(),
+		HedgeWins:     r.hedgeWins.Load(),
+		Shed:          r.shed.Load(),
+		Backends:      make([]BackendStats, 0, len(backends)),
+	}
+	if d, ok := r.hedgeDelay(); ok {
+		out.HedgeDelayNanos = d.Nanoseconds()
+	}
+	for _, b := range backends {
+		bs := BackendStats{
+			URL:            b.url,
+			Healthy:        b.healthy.Load(),
+			RouterInFlight: b.inflight.Load(),
+			Ejections:      b.ejections.Load(),
+		}
+		if msg := b.lastPollErr.Load(); msg != nil {
+			bs.LastPollError = *msg
+		}
+		if st := b.stats.Load(); st != nil {
+			bs.Stats = *st
+			agg := &out.ServiceStats
+			agg.Queries += st.Queries
+			agg.CacheHits += st.CacheHits
+			agg.Errors += st.Errors
+			agg.CachedResults += st.CachedResults
+			agg.QueueDepth += st.QueueDepth
+			agg.InFlight += st.InFlight
+			agg.Queriers += st.Queriers
+			if st.GraphEpoch > agg.GraphEpoch {
+				agg.GraphEpoch = st.GraphEpoch
+			}
+			agg.DiagIndexEnabled = agg.DiagIndexEnabled || st.DiagIndexEnabled
+			agg.DiagHits += st.DiagHits
+			agg.DiagMisses += st.DiagMisses
+			agg.DiagEvictions += st.DiagEvictions
+			agg.DiagChunks += st.DiagChunks
+			agg.DiagExplores += st.DiagExplores
+			agg.DiagResidentBytes += st.DiagResidentBytes
+			agg.DiagBudgetBytes += st.DiagBudgetBytes
+		}
+		if bs.Healthy {
+			out.HealthyBackends++
+		}
+		out.Backends = append(out.Backends, bs)
+	}
+	if looked := out.DiagHits + out.DiagMisses; looked > 0 {
+		out.DiagHitRate = float64(out.DiagHits) / float64(looked)
+	}
+	return out
+}

@@ -17,13 +17,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Custom metrics emitted with
+// b.ReportMetric (hedge tail latencies, hit rates, …) land in Extra
+// keyed by their unit string, e.g. {"p99-ns/op": 1.2e6}.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the whole run: environment header lines plus results.
@@ -82,7 +85,7 @@ func parseLine(line string) (Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 			seen = true
@@ -90,6 +93,13 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			// ReportMetric units pass through verbatim so bench-specific
+			// gauges (p99-ns/op and friends) survive into the artifact.
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, seen

@@ -1,0 +1,131 @@
+// Command exactsim-router fronts a fleet of exactsimd backends with one
+// endpoint speaking the same wire protocol, so every existing client —
+// httpapi.Client included — points at the fleet the way it pointed at a
+// single replica.
+//
+// Usage:
+//
+//	exactsim-router -backends http://10.0.0.1:8640,http://10.0.0.2:8640,http://10.0.0.3:8640
+//	exactsim-router -backends ... -hedge-quantile 0.9 -shed-queue 64
+//
+// Then:
+//
+//	curl -s localhost:8639/v1/query -d '{"source":42,"k":5}'
+//	curl -s localhost:8639/v1/stats        # aggregated FleetStats
+//	curl -s localhost:8639/v1/snapshot -o warm.snap   # warmest replica's container
+//	curl -s localhost:8639/readyz
+//
+// The router routes by source over a consistent-hash ring (bounded-load
+// spill), so repeated sources land on the same replica and maximize its
+// diagonal-sample-index hit rate; polls /readyz + /v1/stats for health-
+// and epoch-aware membership; hedges straggling queries on a second
+// replica (bit-deterministic replicas make the race safe); sheds load
+// when the whole fleet saturates; and proxies /v1/snapshot from the
+// warmest replica so a joiner can clone from "the fleet"
+// (exactsimd -clone-from http://router:8639). See DESIGN.md §9.
+//
+// SIGINT/SIGTERM flip /readyz to 503 for -drain, then shut down.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/exactsim/exactsim/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8639", "listen address")
+		backends = flag.String("backends", "", "comma-separated backend base URLs (required)")
+		vnodes   = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		loadFac  = flag.Float64("bounded-load", 1.25, "bounded-load factor (replica in-flight cap = factor × fleet mean)")
+		hedgeQ   = flag.Float64("hedge-quantile", 0.95, "latency quantile after which a query is hedged on a second replica")
+		hedgeMin = flag.Duration("hedge-min", time.Millisecond, "floor on the hedge delay")
+		hedgeMax = flag.Duration("hedge-max", time.Second, "cap on the hedge delay")
+		noHedge  = flag.Bool("no-hedge", false, "disable hedged requests")
+		attempts = flag.Int("max-attempts", 3, "distinct replicas one query may touch (retries + hedge)")
+
+		shedQueue    = flag.Int("shed-queue", 128, "skip a replica whose queue-depth gauge is at/above this (negative disables)")
+		shedInflight = flag.Int("shed-inflight", 0, "skip a replica whose in-flight gauge is at/above this (0 disables)")
+
+		poll     = flag.Duration("poll", time.Second, "membership poll interval")
+		failN    = flag.Int("fail-threshold", 2, "consecutive poll failures that eject a replica")
+		epochLag = flag.Int("epoch-lag", 2, "consecutive polls behind the fleet max epoch that eject a replica")
+
+		maxBatch   = flag.Int("max-batch", 4096, "per-call /v1/batch request bound")
+		maxTimeout = flag.Duration("max-timeout", 0, "clamp on client-requested timeouts (0 = none)")
+		drain      = flag.Duration("drain", time.Second, "readiness-drain window before shutdown")
+	)
+	flag.Parse()
+
+	if *backends == "" {
+		log.Fatal("exactsim-router: -backends is required")
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	router, err := cluster.New(urls, cluster.Options{
+		Vnodes:            *vnodes,
+		BoundedLoadFactor: *loadFac,
+		HedgeQuantile:     *hedgeQ,
+		HedgeMinDelay:     *hedgeMin,
+		HedgeMaxDelay:     *hedgeMax,
+		DisableHedging:    *noHedge,
+		MaxAttempts:       *attempts,
+		ShedQueueDepth:    *shedQueue,
+		ShedInFlight:      *shedInflight,
+		PollInterval:      *poll,
+		FailThreshold:     *failN,
+		EpochLagPolls:     *epochLag,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+
+	api := cluster.NewServer(router, cluster.ServerOptions{
+		MaxBatch:   *maxBatch,
+		MaxTimeout: *maxTimeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	st := router.Stats()
+	log.Printf("exactsim-router: fronting %d backends (%d healthy, fleet epoch %d) on %s",
+		len(urls), st.HealthyBackends, st.GraphEpoch, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("exactsim-router: draining for %v", *drain)
+	api.SetDraining(true)
+	if *drain > 0 {
+		time.Sleep(*drain)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("exactsim-router: shutdown: %v", err)
+	}
+	st = router.Stats()
+	log.Printf("exactsim-router: routed %d queries (%d errors, %d retries, %d hedged / %d hedge wins, %d shed)",
+		st.RouterQueries, st.RouterErrors, st.Retries, st.Hedged, st.HedgeWins, st.Shed)
+}

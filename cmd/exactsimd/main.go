@@ -9,6 +9,7 @@
 //	exactsimd -graph edges.txt -undirected -eps 1e-4 -workers 8
 //	exactsimd -ba-n 5000 -ba-k 4              # generated demo graph
 //	exactsimd -snapshot warm.snap             # instant warm restart
+//	exactsimd -clone-from http://peer:8640 -snapshot clone.snap   # join a fleet warm
 //
 // Then:
 //
@@ -17,7 +18,8 @@
 //	curl -s localhost:8640/v1/snapshot -o warm.snap
 //	curl -s localhost:8640/v1/algorithms
 //	curl -s localhost:8640/v1/stats
-//	curl -s localhost:8640/healthz
+//	curl -s localhost:8640/healthz            # liveness
+//	curl -s localhost:8640/readyz             # readiness (503 while draining)
 //
 // -warm N pre-computes the N highest in-degree sources before serving, so
 // the diagonal sample index (see -diag-index-mb) starts hot and first-query
@@ -30,7 +32,8 @@
 // /v1/snapshot download) answers its first query in microseconds instead
 // of re-parsing and re-sampling.
 //
-// SIGINT/SIGTERM drain in-flight requests (5 s grace) before exiting.
+// SIGINT/SIGTERM first fail /readyz for -drain (so routers reroute), then
+// drain in-flight requests (5 s grace) before exiting.
 package main
 
 import (
@@ -47,6 +50,7 @@ import (
 	"time"
 
 	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/cluster"
 	"github.com/exactsim/exactsim/httpapi"
 )
 
@@ -75,8 +79,23 @@ func main() {
 		warm        = flag.Int("warm", 0, "pre-warm this many top in-degree sources before serving (0 = none)")
 		snapshot    = flag.String("snapshot", "", "boot from a snapshot container: mmap the graph and restore the diagonal sample index (see -save-snapshot and POST /v1/snapshot)")
 		saveSnap    = flag.String("save-snapshot", "", "write a snapshot container here after warming, and again on graceful shutdown — the next boot with -snapshot starts warm")
+		cloneFrom   = flag.String("clone-from", "", "bootstrap by cloning a warm peer (or router) first: download its /v1/snapshot to the -snapshot path, then boot from it")
+		drain       = flag.Duration("drain", 0, "readiness-drain window before shutdown: /readyz answers 503 for this long so routers stop sending traffic before the listener closes")
 	)
 	flag.Parse()
+
+	if *cloneFrom != "" {
+		if *snapshot == "" {
+			log.Fatal("exactsimd: -clone-from needs -snapshot as the destination path")
+		}
+		start := time.Now()
+		n, epoch, err := cluster.CloneFromPeer(context.Background(), *cloneFrom, *snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("exactsimd: cloned %d KiB (epoch %d) from %s to %s in %v",
+			n>>10, epoch, *cloneFrom, *snapshot, time.Since(start).Round(time.Millisecond))
+	}
 
 	var qopts []exactsim.QuerierOption
 	if *eps > 0 {
@@ -164,6 +183,14 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
+	}
+	if *drain > 0 {
+		// Flip readiness first so routers polling /readyz stop sending
+		// new queries, then give them the drain window to notice before
+		// the listener goes away — in-flight queries keep completing.
+		log.Printf("exactsimd: draining for %v", *drain)
+		api.SetDraining(true)
+		time.Sleep(*drain)
 	}
 	log.Printf("exactsimd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

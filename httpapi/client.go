@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -15,6 +16,35 @@ import (
 
 	exactsim "github.com/exactsim/exactsim"
 )
+
+// sharedTransport is the pooled transport every Client constructed
+// without WithHTTPClient shares. One tuned pool matters under fan-out:
+// a router fronting N backends opens connections from one process to a
+// handful of hosts at high rate, and http.DefaultClient's per-host idle
+// cap of 2 would churn ephemeral ports (TIME_WAIT exhaustion) exactly
+// when the fleet is busiest. Kept package-private; substitute a whole
+// *http.Client via WithHTTPClient to customize.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	ForceAttemptHTTP2:     true,
+	MaxIdleConns:          512,
+	MaxIdleConnsPerHost:   64,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
+var sharedClient = &http.Client{Transport: sharedTransport}
+
+// SharedClient returns the package-wide pooled *http.Client used by
+// every Client constructed without WithHTTPClient — exported so sibling
+// transports (the cluster router's raw snapshot proxy) reuse the same
+// connection pool instead of growing a second one.
+func SharedClient() *http.Client { return sharedClient }
 
 // Client talks the HTTP query protocol and implements exactsim.Querier,
 // so a remote exactsimd slots in anywhere a local querier does:
@@ -39,7 +69,10 @@ type Client struct {
 type ClientOption func(*Client)
 
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transport tuning, instrumentation). Default: http.DefaultClient.
+// transport tuning, instrumentation). Default: a package-wide client
+// over one pooled, keep-alive transport shared by all Clients (see
+// SharedClient), so many clients against many hosts don't exhaust
+// ephemeral ports under load.
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
 }
@@ -66,7 +99,7 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("httpapi: base URL %q needs a scheme and host", baseURL)
 	}
-	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: sharedClient}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -239,6 +272,26 @@ func (c *Client) Health(ctx context.Context) error {
 	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
 	if res.StatusCode != http.StatusOK {
 		return fmt.Errorf("httpapi: health check returned %s", res.Status)
+	}
+	return nil
+}
+
+// Ready probes GET /readyz — readiness, not liveness: a 200 means the
+// server wants new traffic; a draining or epoch-less server answers 503
+// while /healthz still reports it alive. Routers poll this one.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("httpapi: readiness check returned %s", res.Status)
 	}
 	return nil
 }

@@ -1,0 +1,124 @@
+package httpapi_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// TestReadinessSplitFromLiveness: /healthz answers liveness for as long
+// as the process runs; /readyz (and the /healthz?ready=1 alias) flips to
+// 503 while draining or after close, which is what the cluster router's
+// membership poller keys ejection on.
+func TestReadinessSplitFromLiveness(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(100, 3, 17)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers:        1,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	api := httpapi.NewServer(svc, httpapi.ServerOptions{})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		body, _ := io.ReadAll(res.Body)
+		return res.StatusCode, string(body)
+	}
+
+	ctx := context.Background()
+	c, err := httpapi.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serving normally: alive and ready, by handler and by client.
+	for _, path := range []string{"/healthz", "/readyz", "/healthz?ready=1"} {
+		if code, body := get(path); code != http.StatusOK {
+			t.Fatalf("%s while serving: %d %q", path, code, body)
+		}
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if api.Draining() {
+		t.Fatal("Draining true before SetDraining")
+	}
+
+	// Draining: readiness fails, liveness and queries keep working.
+	api.SetDraining(true)
+	if !api.Draining() {
+		t.Fatal("Draining false after SetDraining(true)")
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %d %q", code, body)
+	}
+	if code, _ := get("/healthz?ready=1"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz?ready=1 while draining: %d", code)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while draining: %d — draining must not fail liveness", code)
+	}
+	if err := c.Ready(ctx); err == nil {
+		t.Fatal("client Ready nil while draining")
+	}
+	if resp, err := c.Query(ctx, exactsim.Request{Source: 3}); err != nil || resp.Err != nil {
+		t.Fatalf("in-flight query refused while draining: %v / %v", err, resp.Err)
+	}
+
+	// Drain cancelled (e.g. rollback): ready again.
+	api.SetDraining(false)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after drain cancelled: %d", code)
+	}
+
+	// Closed service: still alive (the process runs), never ready.
+	svc.Close()
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after close: %d", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after close: %d %q", code, body)
+	}
+}
+
+// TestSharedTransportDefault: clients built without WithHTTPClient share
+// one pooled transport — fan-out routers would otherwise exhaust
+// ephemeral ports opening a connection per request.
+func TestSharedTransportDefault(t *testing.T) {
+	shared := httpapi.SharedClient()
+	if shared == nil || shared.Transport == nil {
+		t.Fatal("SharedClient not wired to a pooled transport")
+	}
+	if httpapi.SharedClient() != shared {
+		t.Fatal("SharedClient not a singleton")
+	}
+	tr, ok := shared.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("shared transport is %T", shared.Transport)
+	}
+	if tr.MaxIdleConnsPerHost < 2 {
+		t.Fatalf("MaxIdleConnsPerHost = %d — pool too small to keep fleet connections warm",
+			tr.MaxIdleConnsPerHost)
+	}
+	if tr.IdleConnTimeout == 0 {
+		t.Fatal("idle connections never expire")
+	}
+}

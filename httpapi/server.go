@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	exactsim "github.com/exactsim/exactsim"
@@ -42,6 +43,11 @@ type Server struct {
 	svc  *exactsim.Service
 	opts ServerOptions
 	mux  *http.ServeMux
+	// draining gates readiness only: while set, /readyz answers 503 so
+	// balancers stop routing here, but in-flight and even new queries
+	// still succeed — the drain window is for the fleet to notice, not
+	// a hard door.
+	draining atomic.Bool
 }
 
 // NewServer wraps svc. The caller keeps ownership of svc (and closes it);
@@ -60,11 +66,20 @@ func NewServer(svc *exactsim.Service, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
 // Service returns the wrapped service (for stats, updates, Close).
 func (s *Server) Service() *exactsim.Service { return s.svc }
+
+// SetDraining flips the readiness gate (see /readyz): a draining server
+// keeps answering queries and /healthz liveness, but tells routers to
+// send new traffic elsewhere — the graceful half of a rolling restart.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the current readiness gate.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -187,10 +202,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
+// handleHealthz is pure liveness — the process is up and serving HTTP.
+// ?ready=1 upgrades the probe to the readiness view for callers whose
+// probe config can only vary the path's query string.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("ready") == "1" {
+		s.handleReadyz(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness — distinct from liveness so a replica can be
+// drained (stop receiving new fleet traffic) without being killed while
+// in-flight queries finish. 503 while draining, closed, or before a
+// graph generation is installed; 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	case s.svc.Closed():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "closed\n")
+	case s.svc.Epoch() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "no graph epoch\n")
+	default:
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	}
 }
 
 // requestContext maps the wire timeout onto a context deadline, clamped

@@ -853,6 +853,15 @@ func (s *Service) Epoch() uint64 { return s.state.Load().epoch }
 // Algorithm field.
 func (s *Service) DefaultAlgorithm() string { return s.opts.DefaultAlgorithm }
 
+// Closed reports whether Close has been called. Transports use it for
+// readiness: a closed service rejects every query, so it must stop
+// advertising itself to routers.
+func (s *Service) Closed() bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	return s.closed
+}
+
 // Close stops the workers, detaches any ServeDynamic subscription, aborts
 // in-flight index builds and rejects further queries. It blocks until
 // in-flight queries finish; Close is idempotent.

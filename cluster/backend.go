@@ -41,6 +41,10 @@ type backend struct {
 	// the fleet stats view. Guarded by pollMu via the poll cycle.
 	lastPollErr atomic.Pointer[string]
 
+	// brk is the transport-failure circuit breaker (see breaker.go),
+	// layered under the poll-driven health gate above.
+	brk breaker
+
 	// Poller-owned counters (only touched under Router.pollMu).
 	consecFails int
 	epochLag    int
@@ -57,17 +61,27 @@ func newBackend(url string, hc *httpapiClientConfig) (*backend, error) {
 	return b, nil
 }
 
-// httpapiClientConfig carries the shared *http.Client into backend
-// construction without re-deciding the default at every call site.
+// httpapiClientConfig carries the shared *http.Client and retry policy
+// into backend construction without re-deciding defaults at every call
+// site.
 type httpapiClientConfig struct {
-	hc *http.Client
+	hc      *http.Client
+	retries int // 0 = httpapi default; negative = disabled
 }
 
 func (c *httpapiClientConfig) clientOptions() []httpapi.ClientOption {
-	if c.hc == nil {
-		return nil // httpapi.Client's shared pooled transport
+	var opts []httpapi.ClientOption
+	if c.hc != nil {
+		opts = append(opts, httpapi.WithHTTPClient(c.hc))
 	}
-	return []httpapi.ClientOption{httpapi.WithHTTPClient(c.hc)}
+	if c.retries != 0 {
+		n := c.retries
+		if n < 0 {
+			n = 0
+		}
+		opts = append(opts, httpapi.WithRetries(n))
+	}
+	return opts
 }
 
 // saturated reports whether the backend's last-polled gauges are over
@@ -163,6 +177,9 @@ func (r *Router) Poll(ctx context.Context) {
 		b.consecFails = 0
 		st := res.st
 		b.stats.Store(&st)
+		// A clean poll rode the same transport queries use; an open
+		// breaker would only delay the recovery the poll just proved.
+		b.brk.reset()
 		if st.GraphEpoch < maxEpoch {
 			b.epochLag++
 			if b.epochLag >= r.opts.EpochLagPolls {

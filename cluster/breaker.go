@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker over *transport* failures —
+// dial refused, connection reset, body cut — the failure class where
+// every attempt burns a candidate slot (and possibly a hedge) just to
+// rediscover that the wire to this replica is broken. Protocol errors
+// never trip it: a replica that answers "invalid_argument" has a working
+// transport.
+//
+// It layers *under* the poll-driven eject/re-admit membership: polls run
+// on an interval, so a replica can be flapping for most of a second
+// before FailThreshold ejects it, and every query in that window pays a
+// failed attempt first. The breaker reacts at query cadence instead —
+// threshold consecutive transport failures open it, queries skip it for
+// the cooldown, then one half-open probe decides between closing it and
+// another cooldown. A clean membership poll also closes it: readiness
+// rides the same transport, so a replica the poller just re-admitted
+// should not sit out another cooldown.
+//
+// States: closed (normal), open (skip until cooldown elapses), half-open
+// (exactly one probe in flight decides).
+type breaker struct {
+	mu       sync.Mutex
+	open     bool
+	probing  bool // half-open: the single probe is on the wire
+	fails    int  // consecutive transport failures while closed
+	openedAt time.Time
+	trips    int64
+}
+
+// blocked reports whether pick() should skip this backend right now —
+// non-mutating, so scanning candidates never consumes the half-open
+// probe slot.
+func (b *breaker) blocked(now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return false
+	}
+	if now.Sub(b.openedAt) < cooldown {
+		return true
+	}
+	// Cooldown elapsed: the backend is eligible for one probe, so it is
+	// not blocked for candidate selection; acquire() arbitrates who sends.
+	return b.probing
+}
+
+// acquire asks to send one request. Closed: always yes. Open and cooling:
+// no. Open with cooldown elapsed: yes for exactly one caller (the
+// half-open probe); concurrent callers are refused until its result lands.
+func (b *breaker) acquire(now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if now.Sub(b.openedAt) < cooldown || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// result records one attempt's transport outcome. ok closes the breaker
+// from any state; a failure while closed counts toward threshold, and a
+// failed half-open probe re-opens for another cooldown.
+func (b *breaker) result(ok bool, threshold int, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.open = false
+		b.probing = false
+		b.fails = 0
+		return
+	}
+	if b.open {
+		// The failed half-open probe (or a straggler attempt sent before
+		// the trip): stay open, restart the cooldown clock.
+		b.probing = false
+		b.openedAt = now
+		return
+	}
+	b.fails++
+	if b.fails >= threshold {
+		b.open = true
+		b.probing = false
+		b.openedAt = now
+		b.trips++
+	}
+}
+
+// reset closes the breaker unconditionally — called when a clean
+// membership poll proves the transport works.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = false
+	b.probing = false
+	b.fails = 0
+}
+
+// state renders the breaker for the stats view.
+func (b *breaker) state(now time.Time, cooldown time.Duration) (state string, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed", b.trips
+	case b.probing || now.Sub(b.openedAt) >= cooldown:
+		return "half-open", b.trips
+	default:
+		return "open", b.trips
+	}
+}

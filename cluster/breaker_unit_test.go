@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives the breaker through every transition
+// with fabricated clocks — the methods take explicit `now` values, so
+// the whole lifecycle is deterministic: closed → threshold failures →
+// open → cooldown → half-open single probe → failed probe re-opens →
+// successful probe closes.
+func TestBreakerStateMachine(t *testing.T) {
+	const threshold = 3
+	cooldown := 100 * time.Millisecond
+	t0 := time.Unix(1000, 0)
+
+	var b breaker
+
+	// Closed: always admits, never blocks.
+	if b.blocked(t0, cooldown) {
+		t.Fatal("new breaker blocked")
+	}
+	if !b.acquire(t0, cooldown) {
+		t.Fatal("new breaker refused acquire")
+	}
+	if st, trips := b.state(t0, cooldown); st != "closed" || trips != 0 {
+		t.Fatalf("initial state %q trips=%d", st, trips)
+	}
+
+	// threshold-1 failures leave it closed…
+	for i := 0; i < threshold-1; i++ {
+		b.result(false, threshold, t0)
+		if b.blocked(t0, cooldown) {
+			t.Fatalf("blocked after %d/%d failures", i+1, threshold)
+		}
+	}
+	// …and one success wipes the streak: consecutive means consecutive.
+	b.result(true, threshold, t0)
+	for i := 0; i < threshold-1; i++ {
+		b.result(false, threshold, t0)
+	}
+	if b.blocked(t0, cooldown) {
+		t.Fatal("success did not reset the failure streak")
+	}
+
+	// The threshold-th consecutive failure trips it.
+	b.result(false, threshold, t0)
+	if !b.blocked(t0, cooldown) {
+		t.Fatal("not blocked after threshold consecutive failures")
+	}
+	if b.acquire(t0, cooldown) {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+	if st, trips := b.state(t0, cooldown); st != "open" || trips != 1 {
+		t.Fatalf("after trip: state %q trips=%d", st, trips)
+	}
+
+	// Cooldown elapsed: eligible for exactly one half-open probe.
+	t1 := t0.Add(cooldown)
+	if b.blocked(t1, cooldown) {
+		t.Fatal("still blocked after cooldown elapsed")
+	}
+	if st, _ := b.state(t1, cooldown); st != "half-open" {
+		t.Fatalf("post-cooldown state %q, want half-open", st)
+	}
+	if !b.acquire(t1, cooldown) {
+		t.Fatal("half-open probe slot refused")
+	}
+	if b.acquire(t1, cooldown) {
+		t.Fatal("second concurrent caller also got the probe slot")
+	}
+	if !b.blocked(t1, cooldown) {
+		t.Fatal("probe in flight but candidate scan not blocked")
+	}
+
+	// Failed probe: re-open, cooldown clock restarts, no new trip.
+	b.result(false, threshold, t1)
+	if !b.blocked(t1.Add(cooldown/2), cooldown) {
+		t.Fatal("failed probe did not restart the cooldown")
+	}
+	if _, trips := b.state(t1, cooldown); trips != 1 {
+		t.Fatalf("failed probe counted as a new trip: %d", trips)
+	}
+
+	// Second probe succeeds: closed again, streak cleared.
+	t2 := t1.Add(2 * cooldown)
+	if !b.acquire(t2, cooldown) {
+		t.Fatal("second probe refused")
+	}
+	b.result(true, threshold, t2)
+	if b.blocked(t2, cooldown) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if st, _ := b.state(t2, cooldown); st != "closed" {
+		t.Fatalf("post-recovery state %q", st)
+	}
+	for i := 0; i < threshold-1; i++ {
+		b.result(false, threshold, t2)
+	}
+	if b.blocked(t2, cooldown) {
+		t.Fatal("recovery did not clear the failure streak")
+	}
+
+	// reset() closes from open unconditionally (the clean-poll path).
+	b.result(false, threshold, t2)
+	if !b.blocked(t2, cooldown) {
+		t.Fatal("precondition: breaker should be open")
+	}
+	b.reset()
+	if b.blocked(t2, cooldown) || !b.acquire(t2, cooldown) {
+		t.Fatal("reset did not close the breaker")
+	}
+}

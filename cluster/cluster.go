@@ -92,10 +92,29 @@ type Options struct {
 	// replicas momentarily disagree.
 	EpochLagPolls int
 
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens a backend's circuit breaker (see breaker.go): while open,
+	// pick() skips the backend without spending an attempt, until
+	// BreakerCooldown elapses and a single half-open probe decides.
+	// 0 selects 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks traffic before
+	// allowing its half-open probe. 0 selects 500ms.
+	BreakerCooldown time.Duration
+
+	// ClientRetries sets the per-backend httpapi.Client retry count for
+	// query traffic (see httpapi.WithRetries): transport-level blips are
+	// re-sent on the same backend before the router burns a candidate
+	// slot on a different replica. 0 keeps httpapi's default (2);
+	// negative disables client-level retries so the router's own
+	// replica-level retrying is the only loop.
+	ClientRetries int
+
 	// HTTPClient overrides the *http.Client used for backend traffic.
 	// nil selects httpapi's shared pooled transport, which the router
 	// depends on under fan-out load: per-request connections would
-	// exhaust ephemeral ports.
+	// exhaust ephemeral ports. A fault-injection transport plugs in here
+	// (see internal/fault and exactsim-router's -fault flags).
 	HTTPClient *http.Client
 }
 
@@ -142,4 +161,13 @@ func (o *Options) normalize() {
 	if o.EpochLagPolls <= 0 {
 		o.EpochLagPolls = 2
 	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
 }
+
+// breakerEnabled reports whether the per-backend circuit breaker is on.
+func (o *Options) breakerEnabled() bool { return o.BreakerThreshold > 0 }

@@ -1,0 +1,93 @@
+package cluster_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/cluster"
+)
+
+// BenchmarkRouterResetFault measures what the resilience stack buys
+// under a 10% server-side connection-reset rate: every replica cuts the
+// connection (http.ErrAbortHandler) on every 10th /v1/query, before the
+// request reaches the service — the same shape as a mid-deploy replica
+// dropping its accept queue. hardened=false strips the stack to a single
+// raw attempt (no client retries, no replica failover, no breaker);
+// hardened=true runs the shipped defaults. The acceptance claim is the
+// err_rate extra metric dropping ≥10× at an unchanged p50 — retries
+// absorb the resets without taxing the queries that never hit one.
+// Hedging is off in both arms so the comparison isolates the retry path.
+func BenchmarkRouterResetFault(b *testing.B) {
+	const abortEvery = 10
+	for _, hardened := range []bool{false, true} {
+		name := "hardened=false"
+		if hardened {
+			name = "hardened=true"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := exactsim.GenerateBarabasiAlbert(500, 3, 1)
+			members, urls := startFleet(b, g, 2, exactsim.ServiceOptions{
+				Workers:        2,
+				QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+			})
+			opts := manualPollOptions()
+			opts.DisableHedging = true
+			if !hardened {
+				opts.ClientRetries = -1
+				opts.MaxAttempts = 1
+				opts.BreakerThreshold = -1
+			}
+			r, err := cluster.New(urls, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(r.Close)
+
+			ctx := context.Background()
+			// Warm every replica's result cache, then the routed path, before
+			// arming the abort gate — the measured latency is then a cached
+			// query plus whatever the faults and retries add.
+			for _, m := range members {
+				for i := 0; i < 64; i++ {
+					if resp := m.svc.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i)}); resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+			}
+			for i := 0; i < 64; i++ {
+				if resp := r.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i)}); resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+			}
+			for _, m := range members {
+				m.gate.abortEvery.Store(abortEvery)
+			}
+
+			lat := make([]time.Duration, 0, b.N)
+			errs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := exactsim.NodeID(i % 64)
+				start := time.Now()
+				if resp := r.Query(ctx, exactsim.Request{Source: src}); resp.Err != nil {
+					errs++
+				} else {
+					lat = append(lat, time.Since(start))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(errs)/float64(b.N), "err_rate")
+			// Percentile over ALL issued queries with errors sorting last, so
+			// both arms share a denominator — otherwise the baseline's failed
+			// 10% silently deflate its percentile index and the comparison
+			// flatters the hardened arm's tail into its median.
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			if idx := int(0.50 * float64(b.N-1)); idx < len(lat) {
+				b.ReportMetric(float64(lat[idx].Nanoseconds()), "p50-ns/op")
+			}
+		})
+	}
+}

@@ -36,12 +36,14 @@ type Router struct {
 	clientCfg httpapiClientConfig
 
 	// Router-level counters (fleet stats).
-	queries   atomic.Int64
-	errors    atomic.Int64
-	retries   atomic.Int64
-	hedged    atomic.Int64
-	hedgeWins atomic.Int64
-	shed      atomic.Int64
+	queries      atomic.Int64
+	errors       atomic.Int64
+	retries      atomic.Int64
+	hedged       atomic.Int64
+	hedgeWins    atomic.Int64
+	shed         atomic.Int64
+	breakerSkips atomic.Int64
+	failOpen     atomic.Int64
 }
 
 // New builds a router over the given backend base URLs and runs one
@@ -56,7 +58,7 @@ func New(backendURLs []string, opts Options) (*Router, error) {
 	r := &Router{
 		opts:      opts,
 		tracker:   newLatencyTracker(),
-		clientCfg: httpapiClientConfig{hc: opts.HTTPClient},
+		clientCfg: httpapiClientConfig{hc: opts.HTTPClient, retries: opts.ClientRetries},
 	}
 	seen := make(map[string]bool, len(backendURLs))
 	for _, u := range backendURLs {
@@ -145,6 +147,12 @@ func (r *Router) snapshot() []*backend {
 // from "no healthy replica at all" in pick's error path.
 var errFleetSaturated = errors.New("cluster: fleet saturated")
 
+// errBreakersOpen means every healthy replica's circuit breaker is open:
+// transports are flapping fleet-wide and the cooldown window has not
+// elapsed. Callers see CodeUnavailable either way; the distinct text is
+// for operators.
+var errBreakersOpen = errors.New("cluster: all replica circuit breakers open")
+
 // pick returns this query's replica preference order: ring candidates
 // for the source, healthy only, saturated replicas shed, and the list
 // stably partitioned so under-bounded-load replicas come first. The
@@ -159,6 +167,8 @@ func (r *Router) pick(source exactsim.NodeID) ([]*backend, error) {
 
 	order := ring.candidates(keyHash(int64(source)), make([]int, 0, len(backends)))
 	healthy := 0
+	broken := 0
+	now := time.Now()
 	var total int64
 	eligible := make([]*backend, 0, len(order))
 	for _, idx := range order {
@@ -168,15 +178,47 @@ func (r *Router) pick(source exactsim.NodeID) ([]*backend, error) {
 		}
 		healthy++
 		total += b.inflight.Load()
+		// An open breaker skips the replica without burning an attempt —
+		// blocked() is non-mutating, so scanning never claims the
+		// half-open probe slot (tryOne's acquire does that).
+		if r.opts.breakerEnabled() && b.brk.blocked(now, r.opts.BreakerCooldown) {
+			broken++
+			r.breakerSkips.Add(1)
+			continue
+		}
 		if b.saturated(&r.opts) {
 			continue
 		}
 		eligible = append(eligible, b)
 	}
 	if healthy == 0 {
-		return nil, errors.New("cluster: no healthy backends")
+		// Fail open (panic routing): every backend is poll-ejected, so the
+		// health verdict itself is the suspect — the prober rides the same
+		// network the queries do, and a fault that blinds it must not
+		// blind the data path. A query with zero candidates is a
+		// guaranteed error; optimistically walking the ring costs one
+		// attempt against a possibly-dead backend and rescues the case
+		// where only the probes are failing. Breaker-open backends stay
+		// excluded: their verdict comes from real query traffic, not
+		// probes.
+		for _, idx := range order {
+			b := backends[idx]
+			if r.opts.breakerEnabled() && b.brk.blocked(now, r.opts.BreakerCooldown) {
+				r.breakerSkips.Add(1)
+				continue
+			}
+			eligible = append(eligible, b)
+		}
+		if len(eligible) == 0 {
+			return nil, errBreakersOpen
+		}
+		r.failOpen.Add(1)
+		return eligible, nil
 	}
 	if len(eligible) == 0 {
+		if broken == healthy {
+			return nil, errBreakersOpen
+		}
 		return nil, errFleetSaturated
 	}
 	// Bounded load: cap any replica at factor × fleet mean (+1 so a
@@ -306,7 +348,22 @@ func (r *Router) race(ctx context.Context, cands []*backend, req exactsim.Reques
 // tryOne sends req to b once. Transport failures and retryable protocol
 // codes (unavailable, closed, internal) report retryable; everything
 // else — success, invalid_argument, not_found, deadline — is final.
+// The breaker brackets the exchange: acquire gates the send (arbitrating
+// the half-open probe), and the transport outcome feeds back — except
+// when ctx was cancelled, because a hedge loser's abort says nothing
+// about the replica's transport and must not trip its breaker.
 func (r *Router) tryOne(ctx context.Context, b *backend, req exactsim.Request, hedge bool) tryResult {
+	if r.opts.breakerEnabled() && !b.brk.acquire(time.Now(), r.opts.BreakerCooldown) {
+		// Raced open between pick and send (or lost the half-open probe
+		// slot): fail fast without touching the wire.
+		r.breakerSkips.Add(1)
+		return tryResult{
+			resp: exactsim.Response{Request: req,
+				Err: exactsim.Errorf(exactsim.CodeUnavailable, "cluster: %s: circuit breaker open", b.url)},
+			retryable: ctx.Err() == nil,
+			hedge:     hedge,
+		}
+	}
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	start := time.Now()
@@ -315,6 +372,9 @@ func (r *Router) tryOne(ctx context.Context, b *backend, req exactsim.Request, h
 	if err != nil {
 		// Transport failure (dial refused, connection cut mid-body, or
 		// our own cancellation when another attempt already won).
+		if r.opts.breakerEnabled() && ctx.Err() == nil {
+			b.brk.result(false, r.opts.BreakerThreshold, time.Now())
+		}
 		return tryResult{
 			resp: exactsim.Response{Request: req,
 				Err: exactsim.Errorf(exactsim.CodeUnavailable, "cluster: %s: %v", b.url, err)},
@@ -322,6 +382,11 @@ func (r *Router) tryOne(ctx context.Context, b *backend, req exactsim.Request, h
 			hedge:     hedge,
 			latency:   lat,
 		}
+	}
+	// Any decoded protocol response — success or error — proves the
+	// transport works.
+	if r.opts.breakerEnabled() {
+		b.brk.result(true, r.opts.BreakerThreshold, time.Now())
 	}
 	if resp.Err != nil && retryableCode(resp.Err.Code) && ctx.Err() == nil {
 		return tryResult{resp: resp, retryable: true, hedge: hedge, latency: lat}

@@ -31,12 +31,39 @@ type gate struct {
 	queryN     atomic.Int64
 	serial     atomic.Bool // serialize queries: delay models per-replica capacity
 	serialMu   sync.Mutex
+	// garbleMode corrupts /v1/query responses at the wire level while the
+	// replica itself stays healthy: 1 answers 200 with bytes that are not
+	// JSON at all, 2 answers 200 with a truncated JSON prefix (a short
+	// body). Both must surface client-side as retryable transport errors,
+	// never as a parse panic or an accepted answer.
+	garbleMode atomic.Int32
+	// abortEvery cuts the connection (http.ErrAbortHandler) on every Nth
+	// /v1/query — a deterministic server-side connection-reset rate for
+	// the resilience benchmarks. ≤0 disables. The abort fires BEFORE the
+	// request reaches the service, so a retried query is never
+	// double-computed.
+	abortEvery atomic.Int64
+	abortN     atomic.Int64
 	next       http.Handler
 }
 
 func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if g.down.Load() {
 		http.Error(w, "down", http.StatusServiceUnavailable)
+		return
+	}
+	if every := g.abortEvery.Load(); every > 0 && r.URL.Path == "/v1/query" && g.abortN.Add(1)%every == 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if mode := g.garbleMode.Load(); mode != 0 && r.URL.Path == "/v1/query" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		switch mode {
+		case 1:
+			w.Write([]byte("these bytes are not json\x00\x01"))
+		default:
+			w.Write([]byte(`{"result":{"scores":[0.25,`)) // cut mid-array
+		}
 		return
 	}
 	if r.URL.Path == "/v1/query" {

@@ -51,6 +51,10 @@ type Server struct {
 	opts     ServerOptions
 	mux      *http.ServeMux
 	draining atomic.Bool
+	// panics counts handler panics this router server contained; folded
+	// into the aggregated panics_recovered gauge.
+	panics    atomic.Int64
+	protected http.Handler
 }
 
 // NewServer wraps r. The caller keeps ownership of r (and closes it).
@@ -66,6 +70,11 @@ func NewServer(r *Router, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Same containment contract as httpapi.Server: a router handler
+	// panic answers CodeInternal and bumps a gauge; the daemon survives.
+	s.protected = httpapi.Recovered(s.mux, func(v any, stack []byte) {
+		s.panics.Add(1)
+	})
 	return s
 }
 
@@ -78,7 +87,7 @@ func (s *Server) Router() *Router { return s.router }
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.protected.ServeHTTP(w, r)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -178,7 +187,9 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.router.Stats())
+	fs := s.router.Stats()
+	fs.PanicsRecovered += s.panics.Load()
+	writeJSON(w, http.StatusOK, fs)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

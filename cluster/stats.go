@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"time"
+
 	exactsim "github.com/exactsim/exactsim"
 )
 
@@ -33,6 +35,15 @@ type FleetStats struct {
 	Hedged    int64 `json:"hedged"`
 	HedgeWins int64 `json:"hedge_wins"`
 	Shed      int64 `json:"shed"`
+	// BreakerSkips counts attempts answered instantly from an open
+	// circuit breaker instead of touching the wire; BreakerTrips sums
+	// closed→open transitions across backends.
+	BreakerSkips int64 `json:"breaker_skips"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	// FailOpenPicks counts queries routed with every backend
+	// poll-ejected (fail-open panic routing: the health prober may be
+	// the failing component, so the ring is walked anyway).
+	FailOpenPicks int64 `json:"fail_open_picks"`
 	// HedgeDelayNanos is the current straggler threshold (0 until the
 	// latency tracker has enough samples).
 	HedgeDelayNanos int64 `json:"hedge_delay_ns"`
@@ -47,6 +58,11 @@ type BackendStats struct {
 	RouterInFlight int64 `json:"router_in_flight"`
 	// Ejections counts healthy→unhealthy membership transitions.
 	Ejections int64 `json:"ejections"`
+	// BreakerState is the circuit breaker's current state: "closed",
+	// "open", or "half-open" (cooldown elapsed, probe pending/in flight).
+	BreakerState string `json:"breaker_state"`
+	// BreakerTrips counts closed→open transitions.
+	BreakerTrips int64 `json:"breaker_trips"`
 	// LastPollError is the most recent poll failure ("" when the last
 	// poll succeeded).
 	LastPollError string `json:"last_poll_error,omitempty"`
@@ -67,8 +83,11 @@ func (r *Router) Stats() FleetStats {
 		Hedged:        r.hedged.Load(),
 		HedgeWins:     r.hedgeWins.Load(),
 		Shed:          r.shed.Load(),
+		BreakerSkips:  r.breakerSkips.Load(),
+		FailOpenPicks: r.failOpen.Load(),
 		Backends:      make([]BackendStats, 0, len(backends)),
 	}
+	now := time.Now()
 	if d, ok := r.hedgeDelay(); ok {
 		out.HedgeDelayNanos = d.Nanoseconds()
 	}
@@ -79,6 +98,8 @@ func (r *Router) Stats() FleetStats {
 			RouterInFlight: b.inflight.Load(),
 			Ejections:      b.ejections.Load(),
 		}
+		bs.BreakerState, bs.BreakerTrips = b.brk.state(now, r.opts.BreakerCooldown)
+		out.BreakerTrips += bs.BreakerTrips
 		if msg := b.lastPollErr.Load(); msg != nil {
 			bs.LastPollError = *msg
 		}
@@ -103,6 +124,10 @@ func (r *Router) Stats() FleetStats {
 			agg.DiagExplores += st.DiagExplores
 			agg.DiagResidentBytes += st.DiagResidentBytes
 			agg.DiagBudgetBytes += st.DiagBudgetBytes
+			agg.PanicsRecovered += st.PanicsRecovered
+			if agg.LastPanic == "" {
+				agg.LastPanic = st.LastPanic
+			}
 		}
 		if bs.Healthy {
 			out.HealthyBackends++

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"github.com/exactsim/exactsim/cluster"
+	"github.com/exactsim/exactsim/internal/fault"
 )
 
 func main() {
@@ -60,9 +61,16 @@ func main() {
 		failN    = flag.Int("fail-threshold", 2, "consecutive poll failures that eject a replica")
 		epochLag = flag.Int("epoch-lag", 2, "consecutive polls behind the fleet max epoch that eject a replica")
 
+		breakerN        = flag.Int("breaker-threshold", 5, "consecutive transport failures that open a backend's circuit breaker (negative disables)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 500*time.Millisecond, "how long an open breaker blocks traffic before its half-open probe")
+		clientRetries   = flag.Int("client-retries", 0, "same-backend transport retries per attempt (0 = default 2, negative disables)")
+
 		maxBatch   = flag.Int("max-batch", 4096, "per-call /v1/batch request bound")
 		maxTimeout = flag.Duration("max-timeout", 0, "clamp on client-requested timeouts (0 = none)")
 		drain      = flag.Duration("drain", time.Second, "readiness-drain window before shutdown")
+
+		faultSpec = flag.String("fault", "", "deterministic fault injection on all backend traffic, e.g. 'latency=0.05:2ms,reset=0.1,5xx=0.05,short=0.04,corrupt=0.02' (see internal/fault)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the -fault schedule; the same seed replays the same chaos run")
 	)
 	flag.Parse()
 
@@ -74,6 +82,21 @@ func main() {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, u)
 		}
+	}
+
+	// -fault wraps every backend exchange — queries, probes, the snapshot
+	// proxy — in the seeded schedule. The same seed replays the same run.
+	var inj *fault.Injector
+	var httpClient *http.Client
+	if *faultSpec != "" {
+		cfg, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatalf("exactsim-router: %v", err)
+		}
+		inj = fault.New(cfg)
+		base := http.DefaultTransport.(*http.Transport).Clone()
+		httpClient = &http.Client{Transport: inj.Transport(base)}
+		log.Printf("exactsim-router: FAULT INJECTION ARMED: %s seed=%d", *faultSpec, *faultSeed)
 	}
 
 	router, err := cluster.New(urls, cluster.Options{
@@ -89,6 +112,10 @@ func main() {
 		PollInterval:      *poll,
 		FailThreshold:     *failN,
 		EpochLagPolls:     *epochLag,
+		BreakerThreshold:  *breakerN,
+		BreakerCooldown:   *breakerCooldown,
+		ClientRetries:     *clientRetries,
+		HTTPClient:        httpClient,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +126,17 @@ func main() {
 		MaxBatch:   *maxBatch,
 		MaxTimeout: *maxTimeout,
 	})
-	srv := &http.Server{Addr: *addr, Handler: api}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: api,
+		// Slow-client hygiene: a peer that never finishes its headers or
+		// sits idle on a kept-alive connection cannot pin a goroutine or a
+		// socket forever. No ReadTimeout/WriteTimeout — query bodies are
+		// small but responses (and the snapshot proxy stream) may be long.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -126,6 +163,10 @@ func main() {
 		log.Printf("exactsim-router: shutdown: %v", err)
 	}
 	st = router.Stats()
-	log.Printf("exactsim-router: routed %d queries (%d errors, %d retries, %d hedged / %d hedge wins, %d shed)",
-		st.RouterQueries, st.RouterErrors, st.Retries, st.Hedged, st.HedgeWins, st.Shed)
+	log.Printf("exactsim-router: routed %d queries (%d errors, %d retries, %d hedged / %d hedge wins, %d shed, %d breaker skips / %d trips)",
+		st.RouterQueries, st.RouterErrors, st.Retries, st.Hedged, st.HedgeWins, st.Shed,
+		st.BreakerSkips, st.BreakerTrips)
+	if inj != nil {
+		log.Printf("exactsim-router: fault injection: %s", inj.Counts().String())
+	}
 }

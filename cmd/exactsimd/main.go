@@ -32,6 +32,14 @@
 // /v1/snapshot download) answers its first query in microseconds instead
 // of re-parsing and re-sampling.
 //
+// Saves rotate -snapshot-keep previous generations aside (path.1,
+// path.2, …). A boot that finds the newest container damaged — torn
+// write, bit rot; anything the checksums reject — renames it to
+// <name>.quarantine, logs it, and boots the previous generation; with
+// every generation damaged it falls back to a cold build from the graph
+// flags. -fault / -fault-seed arm a deterministic fault schedule on the
+// clone transport and snapshot writes for chaos drills.
+//
 // SIGINT/SIGTERM first fail /readyz for -drain (so routers reroute), then
 // drain in-flight requests (5 s grace) before exiting.
 package main
@@ -41,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -52,6 +61,7 @@ import (
 	exactsim "github.com/exactsim/exactsim"
 	"github.com/exactsim/exactsim/cluster"
 	"github.com/exactsim/exactsim/httpapi"
+	"github.com/exactsim/exactsim/internal/fault"
 )
 
 func main() {
@@ -80,16 +90,39 @@ func main() {
 		snapshot    = flag.String("snapshot", "", "boot from a snapshot container: mmap the graph and restore the diagonal sample index (see -save-snapshot and POST /v1/snapshot)")
 		saveSnap    = flag.String("save-snapshot", "", "write a snapshot container here after warming, and again on graceful shutdown — the next boot with -snapshot starts warm")
 		cloneFrom   = flag.String("clone-from", "", "bootstrap by cloning a warm peer (or router) first: download its /v1/snapshot to the -snapshot path, then boot from it")
+		snapKeep    = flag.Int("snapshot-keep", 2, "previous snapshot generations kept beside -save-snapshot (path.1 … path.N); a boot that finds the newest corrupt quarantines it and falls back a generation")
 		drain       = flag.Duration("drain", 0, "readiness-drain window before shutdown: /readyz answers 503 for this long so routers stop sending traffic before the listener closes")
+
+		faultSpec = flag.String("fault", "", "deterministic fault injection on the clone transport and snapshot writes, e.g. 'reset=0.1,corrupt=0.02,torn=0.01' (see internal/fault)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the -fault schedule; the same seed replays the same chaos run")
 	)
 	flag.Parse()
+
+	// -fault arms the seeded schedule on this daemon's fallible I/O: the
+	// clone download rides the fault transport, and snapshot saves stream
+	// through the corrupting/torn writer — which is exactly what the
+	// quarantine boot path exists to absorb.
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		cfg, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatalf("exactsimd: %v", err)
+		}
+		inj = fault.New(cfg)
+		log.Printf("exactsimd: FAULT INJECTION ARMED: %s seed=%d", *faultSpec, *faultSeed)
+	}
 
 	if *cloneFrom != "" {
 		if *snapshot == "" {
 			log.Fatal("exactsimd: -clone-from needs -snapshot as the destination path")
 		}
+		var cloneOpts []httpapi.ClientOption
+		if inj != nil {
+			base := http.DefaultTransport.(*http.Transport).Clone()
+			cloneOpts = append(cloneOpts, httpapi.WithHTTPClient(&http.Client{Transport: inj.Transport(base)}))
+		}
 		start := time.Now()
-		n, epoch, err := cluster.CloneFromPeer(context.Background(), *cloneFrom, *snapshot)
+		n, epoch, err := cluster.CloneFromPeer(context.Background(), *cloneFrom, *snapshot, cloneOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,6 +149,9 @@ func main() {
 		DiagIndexBytes:   diagBytes,
 		QuerierOptions:   qopts,
 	}
+	if inj != nil {
+		svcOpts.SnapshotWriteWrap = func(w io.Writer) io.Writer { return inj.Writer(w) }
+	}
 
 	var (
 		svc  *exactsim.Service
@@ -123,19 +159,34 @@ func main() {
 		err  error
 	)
 	if *snapshot != "" {
-		if *graphPath != "" || *datasetKey != "" {
-			log.Fatal("exactsimd: -snapshot is mutually exclusive with -graph and -dataset")
-		}
 		start := time.Now()
-		svc, err = exactsim.OpenSnapshot(*snapshot, svcOpts)
-		if err != nil {
-			log.Fatal(err)
+		var rep *exactsim.BootReport
+		svc, rep, err = exactsim.BootSnapshot(*snapshot, svcOpts)
+		for _, q := range rep.Quarantined {
+			log.Printf("exactsimd: QUARANTINED damaged snapshot generation: %s", q)
 		}
-		st := svc.Stats()
-		log.Printf("exactsimd: restored snapshot %s in %v — %d diag chunks + %d explorations resident (%d KiB)",
-			*snapshot, time.Since(start).Round(time.Millisecond),
-			st.DiagChunks, st.DiagExplores, st.DiagResidentBytes>>10)
-		desc = "snapshot " + *snapshot
+		if err != nil {
+			// Every generation failed (or none existed). The graph flags
+			// are the cold-build fallback: slower, never warm, but serving.
+			log.Printf("exactsimd: snapshot boot failed (tried %d generations): %v", len(rep.Tried), err)
+			var g *exactsim.Graph
+			g, desc, err = loadGraph(*graphPath, *binary, *undirected, *datasetKey, *scale, *baN, *baK, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			svc, err = exactsim.NewService(g, svcOpts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("exactsimd: cold-built %s after snapshot fallback", desc)
+			desc += " (cold fallback)"
+		} else {
+			st := svc.Stats()
+			log.Printf("exactsimd: restored snapshot %s in %v — %d diag chunks + %d explorations resident (%d KiB)",
+				rep.Opened, time.Since(start).Round(time.Millisecond),
+				st.DiagChunks, st.DiagExplores, st.DiagResidentBytes>>10)
+			desc = "snapshot " + rep.Opened
+		}
 	} else {
 		var g *exactsim.Graph
 		g, desc, err = loadGraph(*graphPath, *binary, *undirected, *datasetKey, *scale, *baN, *baK, *seed)
@@ -162,14 +213,24 @@ func main() {
 	}
 
 	if *saveSnap != "" {
-		saveSnapshot(svc, *saveSnap)
+		saveSnapshot(svc, *saveSnap, *snapKeep)
 	}
 
 	api := httpapi.NewServer(svc, httpapi.ServerOptions{
 		MaxBatch:   *maxBatch,
 		MaxTimeout: *maxTimeout,
 	})
-	srv := &http.Server{Addr: *addr, Handler: api}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: api,
+		// Slow-client hygiene: a peer that never finishes its headers or
+		// sits idle on a kept-alive connection cannot pin a goroutine or a
+		// socket forever. No ReadTimeout/WriteTimeout — batch bodies and
+		// the /v1/snapshot stream legitimately take a while.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -201,19 +262,20 @@ func main() {
 	if *saveSnap != "" {
 		// Re-spill on the way out: everything this process sampled since
 		// boot rides into the next boot's warm start.
-		saveSnapshot(svc, *saveSnap)
+		saveSnapshot(svc, *saveSnap, *snapKeep)
 	}
 	st := svc.Stats()
 	log.Printf("exactsimd: served %d queries (%d cache hits, %d errors, diag hit rate %.0f%%)",
 		st.Queries, st.CacheHits, st.Errors, 100*st.DiagHitRate)
 }
 
-// saveSnapshot writes the current generation to path (atomically) and
-// logs the outcome; failures are reported, not fatal — a read-only disk
-// should not take the serving path down.
-func saveSnapshot(svc *exactsim.Service, path string) {
+// saveSnapshot writes the current generation to path (atomically,
+// rotating keep previous generations aside) and logs the outcome;
+// failures are reported, not fatal — a read-only disk should not take
+// the serving path down.
+func saveSnapshot(svc *exactsim.Service, path string, keep int) {
 	start := time.Now()
-	if err := svc.SaveSnapshot(path); err != nil {
+	if err := svc.SaveSnapshotKeep(path, keep); err != nil {
 		log.Printf("exactsimd: save-snapshot: %v", err)
 		return
 	}

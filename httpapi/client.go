@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
+	"reflect"
 	"strconv"
 	"strings"
 	"time"
@@ -63,7 +65,22 @@ type Client struct {
 	hc        *http.Client
 	algorithm string
 	epsilon   float64
+
+	// retries is how many times a failed idempotent POST (query, batch,
+	// warm) is re-sent after the first attempt. Probes (Health, Ready),
+	// Stats, Algorithms and Snapshot never retry: probes feed membership
+	// decisions that must see failures, and a snapshot stream restarts
+	// cheaper at the caller.
+	retries   int
+	retryBase time.Duration
+	retryCap  time.Duration
 }
+
+const (
+	defaultRetries   = 2
+	defaultRetryBase = 5 * time.Millisecond
+	defaultRetryCap  = 250 * time.Millisecond
+)
 
 // ClientOption customizes NewClient.
 type ClientOption func(*Client)
@@ -89,6 +106,36 @@ func WithEpsilon(eps float64) ClientOption {
 	return func(c *Client) { c.epsilon = eps }
 }
 
+// WithRetries sets how many times a failed Query/Batch/Warm call is
+// re-sent (default 2, so up to 3 attempts). Negative disables retries
+// entirely — a router that does its own replica-level retrying may want
+// the raw first-attempt outcome. Only transport failures and the
+// retryable protocol codes (unavailable, closed, internal) re-send; the
+// API is read-only and a connection reset fires before the request is
+// accepted, so a retry can never double-apply anything.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.retries = n
+	}
+}
+
+// WithRetryBackoff tunes the decorrelated-jitter backoff between retry
+// attempts: sleeps start around base and are capped at cap. Zero values
+// keep the defaults (5ms base, 250ms cap).
+func WithRetryBackoff(base, cap time.Duration) ClientOption {
+	return func(c *Client) {
+		if base > 0 {
+			c.retryBase = base
+		}
+		if cap > 0 {
+			c.retryCap = cap
+		}
+	}
+}
+
 // NewClient points a client at an exactsimd base URL (scheme + host,
 // e.g. "http://localhost:8640").
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -99,7 +146,10 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("httpapi: base URL %q needs a scheme and host", baseURL)
 	}
-	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: sharedClient}
+	c := &Client{
+		base: strings.TrimRight(u.String(), "/"), hc: sharedClient,
+		retries: defaultRetries, retryBase: defaultRetryBase, retryCap: defaultRetryCap,
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -223,9 +273,9 @@ func (c *Client) Snapshot(ctx context.Context, w io.Writer) (n int64, epoch uint
 	if err != nil {
 		return 0, 0, err
 	}
-	defer res.Body.Close()
 	if res.StatusCode < 200 || res.StatusCode >= 300 {
 		data, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		drainClose(res.Body)
 		var env struct {
 			Err *exactsim.Error `json:"error"`
 		}
@@ -234,6 +284,7 @@ func (c *Client) Snapshot(ctx context.Context, w io.Writer) (n int64, epoch uint
 		}
 		return 0, 0, fmt.Errorf("httpapi: POST /v1/snapshot returned %s", res.Status)
 	}
+	defer res.Body.Close()
 	epoch, _ = strconv.ParseUint(res.Header.Get("X-Exactsim-Graph-Epoch"), 10, 64)
 	n, err = io.Copy(w, res.Body)
 	if err != nil {
@@ -268,8 +319,7 @@ func (c *Client) Health(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	defer res.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
+	drainClose(res.Body)
 	if res.StatusCode != http.StatusOK {
 		return fmt.Errorf("httpapi: health check returned %s", res.Status)
 	}
@@ -288,12 +338,22 @@ func (c *Client) Ready(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	defer res.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<10))
+	drainClose(res.Body)
 	if res.StatusCode != http.StatusOK {
 		return fmt.Errorf("httpapi: readiness check returned %s", res.Status)
 	}
 	return nil
+}
+
+// drainClose consumes what remains of a response body (bounded) before
+// closing it. An undrained body forces net/http to tear the connection
+// down instead of returning it to the pool — under fleet fan-out that
+// turns every error path into a fresh TCP+TLS handshake exactly when
+// things are already going badly. The bound keeps a hostile/huge body
+// from turning politeness into an unbounded read.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 256<<10))
+	body.Close()
 }
 
 // timeoutMillis converts a context deadline into the wire timeout (≥1ms
@@ -311,17 +371,90 @@ func timeoutMillis(ctx context.Context) int64 {
 	return ms
 }
 
+// post sends one JSON request, retrying transport failures and retryable
+// protocol errors with capped decorrelated-jitter backoff. Every retried
+// path here is an idempotent read (the whole /v1 surface is); a reset
+// always fires before the server accepts the request, so re-sending is
+// safe. A retry only sleeps when the remaining context deadline budget
+// can absorb the sleep *and* another attempt — otherwise the last error
+// returns immediately instead of burning the caller's deadline on a wait.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("httpapi: encoding %s request: %w", path, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+	prev := c.retryBase
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// A failed decode may have partially filled out; each attempt
+			// must start from a zero value or stale fields survive a later
+			// success (json.Unmarshal merges, it does not reset).
+			reflect.ValueOf(out).Elem().SetZero()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		err = c.do(req, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.retries || !retryableError(err) || ctx.Err() != nil {
+			return err
+		}
+		sleep, ok := c.backoff(ctx, &prev)
+		if !ok {
+			return err
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return err
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+}
+
+// backoff draws the next decorrelated-jitter sleep (uniform in
+// [base, 3·prev], capped) and reports whether the context's remaining
+// deadline budget can afford sleeping and then trying again.
+func (c *Client) backoff(ctx context.Context, prev *time.Duration) (time.Duration, bool) {
+	lo, hi := c.retryBase, 3*(*prev)
+	if hi > c.retryCap {
+		hi = c.retryCap
+	}
+	sleep := lo
+	if hi > lo {
+		sleep = lo + rand.N(hi-lo)
+	}
+	*prev = sleep
+	if dl, ok := ctx.Deadline(); ok {
+		// Require room for the sleep plus a non-trivial attempt.
+		if time.Until(dl) < sleep+2*c.retryBase {
+			return 0, false
+		}
+	}
+	return sleep, true
+}
+
+// retryableError reports whether one attempt's failure is worth
+// re-sending: any transport-level failure (the request may never have
+// arrived, or the response never made it back intact), or a protocol
+// error whose code promises the server rejected without doing the work.
+func retryableError(err error) bool {
+	var pe *exactsim.Error
+	if errors.As(err, &pe) {
+		switch pe.Code {
+		case exactsim.CodeUnavailable, exactsim.CodeClosed, exactsim.CodeInternal:
+			return true
+		}
+		return false
+	}
+	// Deliberate non-retry on context errors: the caller's budget is gone.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {

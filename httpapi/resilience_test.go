@@ -1,0 +1,326 @@
+package httpapi_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/httpapi"
+	"github.com/exactsim/exactsim/internal/fault"
+)
+
+// flaky wraps a handler and fails the first n requests per path with the
+// given status and body, succeeding afterwards.
+type flaky struct {
+	next  http.Handler
+	fails atomic.Int64
+	mode  func(w http.ResponseWriter)
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.fails.Add(-1) >= 0 {
+		f.mode(w)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// TestClientRetriesTransientFailures: a 503 streak shorter than the retry
+// budget is invisible to the caller; one longer than it surfaces.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	unavailable := func(w http.ResponseWriter) {
+		e := exactsim.Errorf(exactsim.CodeUnavailable, "flaky: try again")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(httpapi.StatusOf(e))
+		json.NewEncoder(w).Encode(exactsim.Response{Err: e})
+	}
+	fl := &flaky{next: httpapi.NewServer(svc, httpapi.ServerOptions{}), mode: unavailable}
+	ts := httptest.NewServer(fl)
+	t.Cleanup(ts.Close)
+
+	c, err := httpapi.NewClient(ts.URL,
+		httpapi.WithRetries(2), httpapi.WithRetryBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fl.fails.Store(2) // 2 failures, 3 attempts: the caller never notices
+	resp, err := c.Query(context.Background(), exactsim.Request{Source: 3})
+	if err != nil || resp.Err != nil {
+		t.Fatalf("retryable streak surfaced: err=%v respErr=%v", err, resp.Err)
+	}
+	if len(resp.Result.Scores) != 200 {
+		t.Fatalf("scores len %d", len(resp.Result.Scores))
+	}
+
+	fl.fails.Store(5) // longer than the budget: the protocol error surfaces
+	resp, err = c.Query(context.Background(), exactsim.Request{Source: 4})
+	if err != nil {
+		t.Fatalf("protocol error became transport error: %v", err)
+	}
+	if resp.Err == nil || resp.Err.Code != exactsim.CodeUnavailable {
+		t.Fatalf("want unavailable after exhausted retries, got %+v", resp.Err)
+	}
+
+	// A stale envelope from a failed attempt must not leak into a later
+	// success (out is zeroed between attempts).
+	fl.fails.Store(1)
+	resp, err = c.Query(context.Background(), exactsim.Request{Source: 5})
+	if err != nil || resp.Err != nil {
+		t.Fatalf("stale envelope leaked: err=%v respErr=%v", err, resp.Err)
+	}
+}
+
+// TestClientNoRetryOnInvalidArgument: non-retryable codes answer
+// immediately — the server must see exactly one request.
+func TestClientNoRetryOnInvalidArgument(t *testing.T) {
+	var hits atomic.Int64
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	api := httpapi.NewServer(svc, httpapi.ServerOptions{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		api.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c2, err := httpapi.NewClient(ts.URL, httpapi.WithRetryBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c2.Query(context.Background(), exactsim.Request{Source: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == nil || resp.Err.Code != exactsim.CodeInvalidArgument {
+		t.Fatalf("want invalid_argument, got %+v", resp.Err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("non-retryable error was retried: %d requests", n)
+	}
+}
+
+// TestClientRetryHonorsDeadlineBudget: with the deadline nearly spent,
+// the client returns the last error instead of sleeping through it.
+func TestClientRetryHonorsDeadlineBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e := exactsim.Errorf(exactsim.CodeUnavailable, "always down")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(httpapi.StatusOf(e))
+		json.NewEncoder(w).Encode(exactsim.Response{Err: e})
+	}))
+	t.Cleanup(ts.Close)
+	c, err := httpapi.NewClient(ts.URL,
+		httpapi.WithRetries(10), httpapi.WithRetryBackoff(50*time.Millisecond, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.Query(ctx, exactsim.Request{Source: 1})
+	if err != nil {
+		t.Fatalf("transport error: %v", err)
+	}
+	if resp.Err == nil || resp.Err.Code != exactsim.CodeUnavailable {
+		t.Fatalf("want unavailable, got %+v", resp.Err)
+	}
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Fatalf("client burned %v sleeping past the deadline budget", d)
+	}
+}
+
+// TestClientRetriesInjectedResets: under the fault injector's connection
+// resets the retry loop converges to an answer.
+func TestClientRetriesInjectedResets(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerOptions{}))
+	t.Cleanup(ts.Close)
+
+	inj := fault.New(fault.Config{Seed: 11, ResetProb: 0.3})
+	hc := &http.Client{Transport: inj.Transport(http.DefaultTransport.(*http.Transport).Clone())}
+	c, err := httpapi.NewClient(ts.URL, httpapi.WithHTTPClient(hc),
+		httpapi.WithRetries(4), httpapi.WithRetryBackoff(time.Millisecond, 4*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for src := 0; src < 40; src++ {
+		resp, err := c.Query(context.Background(), exactsim.Request{Source: exactsim.NodeID(src % 50)})
+		if err == nil && resp.Err == nil {
+			ok++
+		}
+	}
+	if ok < 38 { // 0.3^5 per query leaves ~0.1% residual failure
+		t.Fatalf("only %d/40 queries survived 30%% resets with 4 retries", ok)
+	}
+	if inj.Counts().Resets == 0 {
+		t.Fatal("injector never fired — the test proved nothing")
+	}
+}
+
+// TestClientConnectionReuse: success, protocol-error and probe paths all
+// drain + close bodies, so the whole exercise rides one TCP connection.
+func TestClientConnectionReuse(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.1), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.ServerOptions{}))
+	t.Cleanup(ts.Close)
+
+	var dials atomic.Int64
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			return (&net.Dialer{}).DialContext(ctx, network, addr)
+		},
+		MaxIdleConnsPerHost: 1,
+	}
+	t.Cleanup(tr.CloseIdleConnections)
+	c, err := httpapi.NewClient(ts.URL, httpapi.WithHTTPClient(&http.Client{Transport: tr}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// Protocol error path (out-of-range source → 400 envelope).
+		if resp, err := c.Query(ctx, exactsim.Request{Source: 99999}); err != nil || resp.Err == nil {
+			t.Fatalf("want protocol error: err=%v resp=%+v", err, resp)
+		}
+		if err := c.Health(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Ready(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("50 exchanges used %d connections, want 1 — a body is not being drained", n)
+	}
+}
+
+// TestServerRecoversHandlerPanic: a panicking handler answers the
+// CodeInternal envelope, the server survives, and the stats gauge counts
+// it.
+func TestServerRecoversHandlerPanic(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	api := httpapi.NewServer(svc, httpapi.ServerOptions{})
+
+	// Panic at the transport layer, below api's own mux, by mounting a
+	// bomb next to it under api's Recovered wrapper.
+	var panics atomic.Int64
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bomb")
+	})
+	wrapped := httpapi.Recovered(mux, func(v any, stack []byte) {
+		panics.Add(1)
+		if len(stack) == 0 {
+			t.Error("empty stack capture")
+		}
+	})
+	ts := httptest.NewServer(wrapped)
+	t.Cleanup(ts.Close)
+
+	res, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", res.StatusCode)
+	}
+	var env exactsim.Response
+	if err := json.NewDecoder(res.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err == nil || env.Err.Code != exactsim.CodeInternal || !strings.Contains(env.Err.Message, "handler bomb") {
+		t.Fatalf("envelope %+v", env.Err)
+	}
+	if panics.Load() != 1 {
+		t.Fatalf("onPanic ran %d times", panics.Load())
+	}
+
+	// The server (and its connection pool) is still alive.
+	res2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res2.Body)
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", res2.StatusCode)
+	}
+}
+
+// TestClientUndecodable2xxIsTransportError: a 200 whose body is not the
+// protocol's JSON (garbled by a proxy, cut mid-flight) is a transport
+// error the caller can retry elsewhere — never a parse panic, never an
+// accepted answer.
+func TestClientUndecodable2xxIsTransportError(t *testing.T) {
+	cut := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"result":{"scores":[0.1,0.2`) // truncated JSON
+	}))
+	t.Cleanup(cut.Close)
+	c, err := httpapi.NewClient(cut.URL, httpapi.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr := c.Query(context.Background(), exactsim.Request{Source: 1})
+	if qerr == nil {
+		t.Fatal("garbled 200 was accepted")
+	}
+	var pe *exactsim.Error
+	if errors.As(qerr, &pe) {
+		t.Fatalf("garbled body decoded into a protocol error: %v", qerr)
+	}
+}

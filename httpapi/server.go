@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,12 @@ type Server struct {
 	// still succeed — the drain window is for the fleet to notice, not
 	// a hard door.
 	draining atomic.Bool
+	// panics counts handler panics this server swallowed (see Recovered);
+	// folded into the panics_recovered gauge /v1/stats reports, alongside
+	// the Service's own worker-level count.
+	panics    atomic.Int64
+	lastPanic atomic.Pointer[string]
+	protected http.Handler
 }
 
 // NewServer wraps svc. The caller keeps ownership of svc (and closes it);
@@ -67,7 +75,40 @@ func NewServer(svc *exactsim.Service, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.protected = Recovered(s.mux, func(v any, stack []byte) {
+		s.panics.Add(1)
+		msg := fmt.Sprintf("panic: %v\n%s", v, stack)
+		s.lastPanic.Store(&msg)
+	})
 	return s
+}
+
+// Recovered wraps next so a handler panic answers as a CodeInternal
+// protocol error instead of killing the connection (and, with
+// http.Server's default recovery absent, the process). http.ErrAbortHandler
+// re-panics: it is the sanctioned way to abort a response and net/http
+// handles it quietly. If the handler already wrote part of a response the
+// error envelope lands after those bytes — clients see a malformed body
+// and treat it as a transport failure, which is the retryable outcome we
+// want. onPanic (may be nil) observes the recovered value and stack.
+func Recovered(next http.Handler, onPanic func(v any, stack []byte)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler { //nolint:errorlint // sentinel compared by identity, per net/http docs
+				panic(v)
+			}
+			if onPanic != nil {
+				onPanic(v, debug.Stack())
+			}
+			e := exactsim.Errorf(exactsim.CodeInternal, "httpapi: handler panic: %v", v)
+			writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Service returns the wrapped service (for stats, updates, Close).
@@ -82,7 +123,7 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.protected.ServeHTTP(w, r)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -199,7 +240,26 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	st := s.svc.Stats()
+	// Handler-level panics are this server's, not the Service's; fold
+	// them into the same gauge so one number answers "did anything blow
+	// up in this process".
+	st.PanicsRecovered += s.panics.Load()
+	if p := s.lastPanic.Load(); p != nil && st.LastPanic == "" {
+		st.LastPanic = firstLine(*p)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// firstLine trims a captured panic-with-stack down to its headline; the
+// stats wire format wants a gauge-sized string, not a traceback.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // handleHealthz is pure liveness — the process is up and serving HTTP.

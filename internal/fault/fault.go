@@ -1,0 +1,221 @@
+// Package fault is a seeded, deterministic fault injector: one splitmix64
+// stream drives every probabilistic decision, so a single seed reproduces
+// an entire chaos run — the same schedule of latencies, resets, 5xx
+// bodies, corrupted bytes and torn writes, in the same order.
+//
+// The injector wraps the two choke points the serving stack already
+// funnels everything through: http.RoundTripper (httpapi.Client, the
+// cluster router's probes and clones) and io.Reader/Writer/WriterAt (the
+// store container read/write paths). Determinism is per *decision
+// stream*: the k-th draw always yields the same verdict for a given seed;
+// which goroutine consumes the k-th draw depends on scheduling, which is
+// exactly the nondeterminism a chaos run wants to explore while keeping
+// the fault mix reproducible.
+//
+// Fault kinds and where they bite:
+//
+//   - latency   — RoundTrip sleeps before forwarding (tail amplification)
+//   - reset     — RoundTrip fails before forwarding (connection reset;
+//     the request never reached the server, so retrying is always safe)
+//   - 5xx       — RoundTrip synthesizes a 503 with a non-protocol body
+//   - short     — response body is cut after a prefix (unexpected EOF)
+//   - corrupt   — one response-body byte is overwritten with 0x01 on the
+//     HTTP path (0x01 is invalid anywhere in JSON, so corruption is
+//     always *detected*, never silently accepted — which is what keeps
+//     the bit-determinism oracle sound); on the io paths a byte is XORed
+//     with a random nonzero mask (the container CRC64 catches it)
+//   - torn      — a Write/WriteAt stops partway and fails (partial write)
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sets the per-decision probabilities of each fault kind. All
+// probabilities are in [0, 1]; zero disables that kind. The zero Config
+// injects nothing (every wrapper becomes a pass-through).
+type Config struct {
+	Seed uint64
+
+	// LatencyProb adds Latency before forwarding a request.
+	LatencyProb float64
+	Latency     time.Duration
+
+	// ResetProb fails a request before it is sent, modeling a connection
+	// reset. Because the request never reaches the server, a retry can
+	// never double-apply it.
+	ResetProb float64
+
+	// Error5xxProb replaces the exchange with a synthesized 503 whose
+	// body is not the protocol's JSON.
+	Error5xxProb float64
+
+	// ShortBodyProb truncates the response body partway, surfacing as
+	// io.ErrUnexpectedEOF to the reader.
+	ShortBodyProb float64
+
+	// CorruptProb flips one byte: on the HTTP response path the byte is
+	// overwritten with 0x01 (invalid in JSON → always detected); on the
+	// io wrappers it is XORed with a random nonzero mask (CRC-detected).
+	CorruptProb float64
+
+	// TornWriteProb makes a Write/WriteAt stop partway and fail.
+	TornWriteProb float64
+}
+
+// Enabled reports whether any fault kind has a nonzero probability.
+func (c Config) Enabled() bool {
+	return c.LatencyProb > 0 || c.ResetProb > 0 || c.Error5xxProb > 0 ||
+		c.ShortBodyProb > 0 || c.CorruptProb > 0 || c.TornWriteProb > 0
+}
+
+// Counts reports how many faults of each kind an Injector has fired —
+// the receipts that prove a chaos run actually exercised something.
+type Counts struct {
+	Draws       int64 `json:"draws"`
+	Latencies   int64 `json:"latencies"`
+	Resets      int64 `json:"resets"`
+	Errors5xx   int64 `json:"errors_5xx"`
+	ShortBodies int64 `json:"short_bodies"`
+	Corruptions int64 `json:"corruptions"`
+	TornWrites  int64 `json:"torn_writes"`
+}
+
+// Injector draws fault decisions from one seeded splitmix64 stream. It is
+// safe for concurrent use; all draws serialize under one mutex so the
+// decision sequence is a pure function of the seed.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	state  uint64
+	counts Counts
+}
+
+// New builds an injector for cfg, seeding the decision stream from
+// cfg.Seed.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, state: cfg.Seed}
+}
+
+// Config returns the configuration the injector was built with.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Counts snapshots the fault receipts so far.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// next advances the splitmix64 stream. Callers hold in.mu.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll draws one uniform [0,1) variate and compares it to p. Callers
+// hold in.mu. A p ≤ 0 consumes no draw, so disabling a fault kind does
+// not shift the schedule of the enabled ones... it does shift relative
+// to a config where it was enabled — determinism is per (seed, config).
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.counts.Draws++
+	return float64(in.next()>>11)/(1<<53) < p
+}
+
+// intn draws a uniform integer in [0, n). Callers hold in.mu; n > 0.
+func (in *Injector) intn(n int) int {
+	return int(in.next() % uint64(n))
+}
+
+// ParseSpec parses the -fault flag grammar: a comma-separated list of
+// kind=prob entries, where latency also takes a duration —
+//
+//	latency=0.05:2ms,reset=0.1,5xx=0.05,short=0.04,corrupt=0.02,torn=0.01
+//
+// Unknown kinds and out-of-range probabilities are errors. The seed is
+// carried separately (-fault-seed) so one schedule spec can be replayed
+// under many seeds.
+func ParseSpec(spec string, seed uint64) (Config, error) {
+	cfg := Config{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return cfg, fmt.Errorf("fault: entry %q is not kind=prob", field)
+		}
+		probStr, durStr, hasDur := strings.Cut(val, ":")
+		p, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || p < 0 || p > 1 {
+			return cfg, fmt.Errorf("fault: %s probability %q not in [0,1]", kind, probStr)
+		}
+		if hasDur && kind != "latency" {
+			return cfg, fmt.Errorf("fault: only latency takes a duration, not %q", kind)
+		}
+		switch kind {
+		case "latency":
+			cfg.LatencyProb = p
+			cfg.Latency = 5 * time.Millisecond
+			if hasDur {
+				d, err := time.ParseDuration(durStr)
+				if err != nil || d < 0 {
+					return cfg, fmt.Errorf("fault: bad latency duration %q", durStr)
+				}
+				cfg.Latency = d
+			}
+		case "reset":
+			cfg.ResetProb = p
+		case "5xx":
+			cfg.Error5xxProb = p
+		case "short":
+			cfg.ShortBodyProb = p
+		case "corrupt":
+			cfg.CorruptProb = p
+		case "torn":
+			cfg.TornWriteProb = p
+		default:
+			return cfg, fmt.Errorf("fault: unknown kind %q (want latency, reset, 5xx, short, corrupt, torn)", kind)
+		}
+	}
+	return cfg, nil
+}
+
+// String renders the counts compactly for logs.
+func (c Counts) String() string {
+	parts := map[string]int64{
+		"latency": c.Latencies, "reset": c.Resets, "5xx": c.Errors5xx,
+		"short": c.ShortBodies, "corrupt": c.Corruptions, "torn": c.TornWrites,
+	}
+	keys := make([]string, 0, len(parts))
+	for k, v := range parts {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return fmt.Sprintf("%d draws, no faults", c.Draws)
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%d", k, parts[k])
+	}
+	return fmt.Sprintf("%d draws: %s", c.Draws, strings.Join(out, " "))
+}

@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic: the decision stream is a pure function of
+// (seed, config) — two injectors with the same seed agree draw for draw,
+// and a different seed diverges.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, ResetProb: 0.3, Error5xxProb: 0.2, ShortBodyProb: 0.1, CorruptProb: 0.1}
+	a, b := New(cfg), New(cfg)
+	var seqA, seqB []exchange
+	for i := 0; i < 200; i++ {
+		seqA = append(seqA, a.drawExchange())
+		seqB = append(seqB, b.drawExchange())
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("draw %d diverged under one seed: %+v vs %+v", i, seqA[i], seqB[i])
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+
+	cfg.Seed = 43
+	c := New(cfg)
+	same := true
+	for i := 0; i < 200; i++ {
+		if c.drawExchange() != seqA[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed 43 reproduced seed 42's schedule exactly — stream is not seed-driven")
+	}
+
+	// The mix roughly matches the probabilities (loose bounds; the point
+	// is "faults actually fire", not a statistics test).
+	ct := a.Counts()
+	if ct.Resets == 0 || ct.Errors5xx == 0 || ct.ShortBodies == 0 || ct.Corruptions == 0 {
+		t.Fatalf("some enabled fault kind never fired in 200 exchanges: %+v", ct)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 7})
+	if in.Config().Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	for i := 0; i < 50; i++ {
+		if d := in.drawExchange(); d != (exchange{}) {
+			t.Fatalf("zero config produced a fault: %+v", d)
+		}
+	}
+	if ct := in.Counts(); ct.Draws != 0 {
+		t.Fatalf("zero config consumed draws: %+v", ct)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("latency=0.05:2ms,reset=0.1,5xx=0.05,short=0.04,corrupt=0.02,torn=0.01", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 99, LatencyProb: 0.05, Latency: 2 * time.Millisecond,
+		ResetProb: 0.1, Error5xxProb: 0.05, ShortBodyProb: 0.04,
+		CorruptProb: 0.02, TornWriteProb: 0.01,
+	}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec("latency=0.5", 0); err != nil || cfg.Latency != 5*time.Millisecond {
+		t.Fatalf("default latency duration: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"reset=1.5", "bogus=0.1", "reset", "reset=x", "reset=0.1:2ms", "latency=0.1:nope"} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+	if cfg, err := ParseSpec("  ", 5); err != nil || cfg.Enabled() {
+		t.Fatalf("blank spec: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+// TestTransportFaultKinds drives each kind through a real HTTP exchange
+// by pinning its probability to 1.
+func TestTransportFaultKinds(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write(bytes.Repeat([]byte(`{"ok":true}`), 100))
+	}))
+	defer ts.Close()
+
+	t.Run("reset", func(t *testing.T) {
+		in := New(Config{Seed: 1, ResetProb: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		_, err := hc.Post(ts.URL, "application/json", strings.NewReader("{}"))
+		if !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("want injected reset, got %v", err)
+		}
+		if in.Counts().Resets != 1 {
+			t.Fatalf("counts: %+v", in.Counts())
+		}
+	})
+
+	t.Run("5xx", func(t *testing.T) {
+		in := New(Config{Seed: 1, Error5xxProb: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		res, err := hc.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", res.StatusCode)
+		}
+		body, _ := io.ReadAll(res.Body)
+		if !strings.Contains(string(body), "injected 5xx") {
+			t.Fatalf("body %q", body)
+		}
+	})
+
+	t.Run("short", func(t *testing.T) {
+		in := New(Config{Seed: 1, ShortBodyProb: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		res, err := hc.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		data, err := io.ReadAll(res.Body)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want unexpected EOF, got err=%v (read %d bytes)", err, len(data))
+		}
+		if len(data) == 0 || len(data) >= 1100 {
+			t.Fatalf("short body read %d bytes", len(data))
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		in := New(Config{Seed: 1, CorruptProb: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		res, err := hc.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		data, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte{0x01}) {
+			t.Fatal("corrupted body carries no 0x01 byte")
+		}
+	})
+
+	t.Run("latency", func(t *testing.T) {
+		in := New(Config{Seed: 1, LatencyProb: 1, Latency: 30 * time.Millisecond})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		start := time.Now()
+		res, err := hc.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if d := time.Since(start); d < 30*time.Millisecond {
+			t.Fatalf("exchange took %v, want ≥ 30ms", d)
+		}
+	})
+}
+
+func TestReaderCorruptsOneByte(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 4096)
+	in := New(Config{Seed: 3, CorruptProb: 1})
+	got, err := io.ReadAll(io.NopCloser(in.Reader(bytes.NewReader(payload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("reader with corrupt=1 returned the payload unmodified")
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("length changed: %d vs %d", len(got), len(payload))
+	}
+}
+
+func TestReaderShortCut(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAA}, 4096)
+	in := New(Config{Seed: 3, ShortBodyProb: 1})
+	got, err := io.ReadAll(in.Reader(bytes.NewReader(payload)))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v after %d bytes", err, len(got))
+	}
+}
+
+func TestWriterTornWrite(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(Config{Seed: 5, TornWriteProb: 1})
+	n, err := in.Writer(&buf).Write(bytes.Repeat([]byte{0x55}, 1024))
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn write, got %v", err)
+	}
+	if n != buf.Len() || n >= 1024 {
+		t.Fatalf("reported %d written, buffer has %d", n, buf.Len())
+	}
+}
+
+func TestWriterSilentCorruption(t *testing.T) {
+	src := bytes.Repeat([]byte{0x55}, 1024)
+	var buf bytes.Buffer
+	in := New(Config{Seed: 5, CorruptProb: 1})
+	w := in.Writer(&buf)
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf.Bytes(), src) {
+		t.Fatal("corrupt=1 write arrived intact")
+	}
+	for _, b := range src {
+		if b != 0x55 {
+			t.Fatal("writer mutated the caller's buffer")
+		}
+	}
+}
+
+func TestWriterAtTornWrite(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "fault-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	in := New(Config{Seed: 5, TornWriteProb: 1})
+	n, err := in.WriterAt(tmp).WriteAt(bytes.Repeat([]byte{0x77}, 512), 0)
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn write, got %v (n=%d)", err, n)
+	}
+	if n >= 512 {
+		t.Fatalf("torn WriteAt reported full length %d", n)
+	}
+}

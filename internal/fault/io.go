@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrTornWrite is the error a torn-write fault surfaces as: part of the
+// buffer reached the destination, the rest did not — the disk-side
+// analogue of a connection reset.
+var ErrTornWrite = errors.New("fault: injected torn write")
+
+// Reader wraps r with the injector's schedule on the container *read*
+// path: corrupt XORs one byte of a chunk with a random nonzero mask
+// (silent at this layer — the container CRC64 is what must catch it),
+// short cuts the stream with io.ErrUnexpectedEOF.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	return &faultReader{in: in, r: r}
+}
+
+type faultReader struct {
+	in  *Injector
+	r   io.Reader
+	cut bool
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if fr.cut {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := fr.r.Read(p)
+	if n > 0 {
+		fr.in.mu.Lock()
+		if fr.in.roll(fr.in.cfg.CorruptProb) {
+			i, mask := fr.in.intn(n), byte(1+fr.in.intn(255))
+			p[i] ^= mask
+			fr.in.counts.Corruptions++
+		}
+		if fr.in.roll(fr.in.cfg.ShortBodyProb) {
+			fr.cut = true
+			fr.in.counts.ShortBodies++
+		}
+		fr.in.mu.Unlock()
+	}
+	return n, err
+}
+
+// Writer wraps w with the injector's schedule on the container *write*
+// path: torn stops a Write partway and fails with ErrTornWrite (the
+// caller's temp-file discipline must prevent the partial write from ever
+// becoming the live file), corrupt silently XORs one byte so the
+// resulting container is complete but wrong — the read-side CRC64 and
+// the boot-time quarantine are what must catch that.
+func (in *Injector) Writer(w io.Writer) io.Writer {
+	return &faultWriter{in: in, w: w}
+}
+
+type faultWriter struct {
+	in *Injector
+	w  io.Writer
+}
+
+// decideWrite draws the write-path decisions for one buffer of length n.
+func (in *Injector) decideWrite(n int) (tornAt int, corruptAt int, mask byte) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	tornAt, corruptAt = -1, -1
+	if in.roll(in.cfg.TornWriteProb) {
+		tornAt = in.intn(n)
+		in.counts.TornWrites++
+	}
+	if in.roll(in.cfg.CorruptProb) {
+		corruptAt, mask = in.intn(n), byte(1+in.intn(255))
+		in.counts.Corruptions++
+	}
+	return tornAt, corruptAt, mask
+}
+
+// applyWrite performs one faulted write of p via raw, honoring the
+// decisions from decideWrite without mutating the caller's buffer.
+func applyWrite(p []byte, tornAt, corruptAt int, mask byte, raw func([]byte) (int, error)) (int, error) {
+	if corruptAt >= 0 && (tornAt < 0 || corruptAt < tornAt) {
+		dup := make([]byte, len(p))
+		copy(dup, p)
+		dup[corruptAt] ^= mask
+		p = dup
+	}
+	if tornAt < 0 {
+		return raw(p)
+	}
+	n, err := raw(p[:tornAt])
+	if err != nil {
+		return n, err
+	}
+	return n, ErrTornWrite
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return fw.w.Write(p)
+	}
+	tornAt, corruptAt, mask := fw.in.decideWrite(len(p))
+	return applyWrite(p, tornAt, corruptAt, mask, fw.w.Write)
+}
+
+// WriterAt wraps w the same way Writer does, for positioned writers.
+func (in *Injector) WriterAt(w io.WriterAt) io.WriterAt {
+	return &faultWriterAt{in: in, w: w}
+}
+
+type faultWriterAt struct {
+	in *Injector
+	w  io.WriterAt
+}
+
+func (fw *faultWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return fw.w.WriteAt(p, off)
+	}
+	tornAt, corruptAt, mask := fw.in.decideWrite(len(p))
+	return applyWrite(p, tornAt, corruptAt, mask, func(b []byte) (int, error) {
+		return fw.w.WriteAt(b, off)
+	})
+}

@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrInjectedReset is the transport error a reset fault surfaces as.
+// It fires *before* the request is forwarded, so — like a real reset
+// raced against connection establishment — the server never saw the
+// request and a retry cannot double-apply it.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// exchange is the full decision set for one HTTP round trip, drawn under
+// one lock so concurrent requests interleave whole exchanges rather than
+// individual rolls.
+type exchange struct {
+	latency   time.Duration
+	reset     bool
+	err5xx    bool
+	shortBody bool
+	corrupt   bool
+}
+
+func (in *Injector) drawExchange() exchange {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d exchange
+	if in.roll(in.cfg.LatencyProb) {
+		d.latency = in.cfg.Latency
+		in.counts.Latencies++
+	}
+	if in.roll(in.cfg.ResetProb) {
+		d.reset = true
+		in.counts.Resets++
+		return d // the exchange dies here; later kinds are moot
+	}
+	if in.roll(in.cfg.Error5xxProb) {
+		d.err5xx = true
+		in.counts.Errors5xx++
+		return d
+	}
+	if in.roll(in.cfg.ShortBodyProb) {
+		d.shortBody = true
+		in.counts.ShortBodies++
+	}
+	if in.roll(in.cfg.CorruptProb) {
+		d.corrupt = true
+		in.counts.Corruptions++
+	}
+	return d
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the injector's
+// fault schedule. Install it on any *http.Client — httpapi.WithHTTPClient,
+// cluster.Options.HTTPClient — and every exchange through that client
+// draws from the seeded stream.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{in: in, base: base}
+}
+
+type roundTripper struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := rt.in.drawExchange()
+	if d.latency > 0 {
+		t := time.NewTimer(d.latency)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+	}
+	if d.reset {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	}
+	if d.err5xx {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:       io.NopCloser(strings.NewReader("fault: injected 5xx\n")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if d.shortBody {
+		// Cut after a small prefix; the injector picks where.
+		rt.in.mu.Lock()
+		cut := 1 + rt.in.intn(64)
+		rt.in.mu.Unlock()
+		resp.Body = &shortBody{rc: resp.Body, remain: int64(cut)}
+		resp.ContentLength = -1
+	}
+	if d.corrupt {
+		rt.in.mu.Lock()
+		off := rt.in.intn(1 << 10)
+		rt.in.mu.Unlock()
+		resp.Body = &corruptBody{rc: resp.Body, off: int64(off)}
+	}
+	return resp, nil
+}
+
+// shortBody yields remain bytes then fails with io.ErrUnexpectedEOF,
+// modeling a connection cut mid-body.
+type shortBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (s *shortBody) Read(p []byte) (int, error) {
+	if s.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > s.remain {
+		p = p[:s.remain]
+	}
+	n, err := s.rc.Read(p)
+	s.remain -= int64(n)
+	if err == io.EOF {
+		return n, io.EOF // body was shorter than the cut; nothing to truncate
+	}
+	if err == nil && s.remain <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (s *shortBody) Close() error { return s.rc.Close() }
+
+// corruptBody overwrites the byte at off (clamped into the body if the
+// body is shorter) with 0x01. 0x01 is invalid anywhere in JSON — as a raw
+// control character inside a string and as a token everywhere else — so a
+// corrupted protocol body always fails to decode instead of silently
+// yielding wrong scores. That choice is what lets the chaos suite keep
+// "every accepted answer is bit-identical" as its oracle.
+type corruptBody struct {
+	rc   io.ReadCloser
+	off  int64
+	pos  int64
+	done bool
+}
+
+func (c *corruptBody) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 && !c.done {
+		i := c.off - c.pos
+		if i < 0 || i >= int64(n) {
+			// Target offset not in this chunk; if the body is ending
+			// before reaching it, corrupt the last byte we have.
+			if err != nil && n > 0 {
+				i = int64(n - 1)
+			} else if i < 0 {
+				i = 0
+			} else {
+				c.pos += int64(n)
+				return n, err
+			}
+		}
+		p[i] = 0x01
+		c.done = true
+	}
+	c.pos += int64(n)
+	return n, err
+}
+
+func (c *corruptBody) Close() error { return c.rc.Close() }

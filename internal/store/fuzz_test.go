@@ -1,0 +1,91 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/store"
+)
+
+// validContainer builds a well-formed single-section container holding
+// a real graph CSR payload — the honest starting point the fuzzer
+// mutates from.
+func validContainer(tb testing.TB) []byte {
+	tb.Helper()
+	g := graph.FromEdges(6, [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 3},
+	})
+	var buf bytes.Buffer
+	sw, err := store.NewWriter(&buf, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := sw.Section(store.SectionGraph, graph.BinarySize(g), func(w io.Writer) error {
+		return graph.EncodeCSR(w, g)
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzOpenContainer throws arbitrary bytes at the container parser and
+// the graph decoder behind it — the exact path a daemon walks when it
+// boots from a -snapshot file or ingests a peer's /v1/snapshot stream.
+// The contract under fuzzing: never panic, never hang; reject or return
+// a structurally valid File. When the container parses, the graph
+// section must either decode into a graph that passes Validate or be
+// rejected — a silently inconsistent graph would poison every
+// downstream answer.
+func FuzzOpenContainer(f *testing.F) {
+	valid := validContainer(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2]) // truncated mid-section
+	f.Add(valid[:17])           // truncated mid-section-header
+
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40 // payload bit rot
+	f.Add(flipped)
+
+	bumped := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(bumped[8:], store.Version+1) // future version
+	f.Add(bumped)
+
+	badMagic := bytes.Clone(valid)
+	badMagic[0] ^= 0xff
+	f.Add(badMagic)
+
+	crcSmashed := bytes.Clone(valid)
+	crcSmashed[len(crcSmashed)-1] ^= 0x01 // trailing section CRC
+	f.Add(crcSmashed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := store.Parse(data)
+		if err != nil {
+			return // rejected: the only acceptable failure mode
+		}
+		defer file.Close()
+		for _, sec := range file.Sections() {
+			if int64(len(sec.Payload)) > int64(len(data)) {
+				t.Fatalf("section %d claims %d payload bytes from a %d-byte input",
+					sec.ID, len(sec.Payload), len(data))
+			}
+		}
+		if _, ok := file.Section(store.SectionGraph); !ok {
+			return
+		}
+		g, _, err := graph.FromContainer(file)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph decoded from fuzzed container fails validation: %v", err)
+		}
+	})
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +57,14 @@ type ServiceOptions struct {
 	// before the per-request epsilon. Use them to pin C, seeds, worker
 	// counts or sampling constants service-wide.
 	QuerierOptions []QuerierOption
+	// SnapshotWriteWrap, when non-nil, wraps the file writer that
+	// SaveSnapshot/SaveSnapshotKeep stream the container through. It
+	// exists for fault injection — exactsimd's -fault flag plugs
+	// internal/fault's torn-write/corruption wrapper in here so chaos
+	// runs exercise the quarantine boot path with real damaged files.
+	// Write faults can only ever cost the snapshot (the container
+	// checksum catches them on open), never answer correctness.
+	SnapshotWriteWrap func(io.Writer) io.Writer
 }
 
 func (o *ServiceOptions) normalize() {
@@ -196,6 +206,14 @@ type ServiceStats struct {
 	DiagExplores      int     `json:"diag_explores"`
 	DiagResidentBytes int64   `json:"diag_resident_bytes"`
 	DiagBudgetBytes   int64   `json:"diag_budget_bytes"`
+	// PanicsRecovered counts panics contained by recover() instead of
+	// killing the process — worker panics, querier-build panics, and (in
+	// the HTTP servers' view of this struct) handler panics. Nonzero
+	// means an algorithm or handler has a bug; the process absorbed it.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// LastPanic is the headline of the most recent recovered panic ("" =
+	// never). The full stack goes to the process log, not the wire.
+	LastPanic string `json:"last_panic"`
 }
 
 // graphState is one immutable graph generation. Queries capture the
@@ -276,6 +294,13 @@ type Service struct {
 	cacheHits atomic.Int64
 	errors    atomic.Int64
 	inFlight  atomic.Int64
+
+	// panics counts worker/build panics contained by recover(); lastPanic
+	// keeps the most recent one's headline + stack for diagnosis. A panic
+	// inside an algorithm must cost one CodeInternal response, never the
+	// process.
+	panics    atomic.Int64
+	lastPanic atomic.Pointer[string]
 }
 
 // querierKey identifies one constructed querier. Unlike the result
@@ -675,7 +700,17 @@ func (s *Service) worker() {
 	}
 }
 
-func (s *Service) execute(ctx context.Context, st *graphState, req Request) Response {
+func (s *Service) execute(ctx context.Context, st *graphState, req Request) (resp Response) {
+	// A panicking algorithm costs its request a CodeInternal response,
+	// not the process its life: the worker must survive to drain the
+	// queue, and a fleet replica must stay pollable so the router can
+	// keep routing around the poisoned query. The stack is captured into
+	// stats (panics_recovered / last_panic) and the process log.
+	defer func() {
+		if v := recover(); v != nil {
+			resp = s.fail(st, req, s.recordPanic("query", v))
+		}
+	}()
 	q, err := s.querier(ctx, st, req.Algorithm, req.Epsilon)
 	if err != nil {
 		return s.fail(st, req, ToError(err))
@@ -700,6 +735,19 @@ func (s *Service) execute(ctx context.Context, st *graphState, req Request) Resp
 		}
 	}
 	return s.respond(st, req, res, false)
+}
+
+// recordPanic converts a recovered panic value into the CodeInternal
+// error the caller answers with, bumping the panics_recovered gauge and
+// keeping the headline in last_panic. The full stack goes to the process
+// log — it is operator material, too big (and too revealing) for a wire
+// gauge.
+func (s *Service) recordPanic(where string, v any) *Error {
+	s.panics.Add(1)
+	head := fmt.Sprintf("%s panic: %v", where, v)
+	s.lastPanic.Store(&head)
+	log.Printf("exactsim: recovered %s\n%s", head, debug.Stack())
+	return Errorf(CodeInternal, "exactsim: recovered %s", head)
 }
 
 func (s *Service) respond(st *graphState, req Request, res *QueryResult, hit bool) Response {
@@ -751,6 +799,18 @@ func (s *Service) querier(ctx context.Context, st *graphState, algorithm string,
 // diagonal sample index: queriers differing only in ε draw identical
 // chunk streams, so one warm index serves them all.
 func (s *Service) build(key querierKey, slot *querierSlot, st *graphState, algorithm string, epsilon float64) {
+	// Deferred in LIFO order: the recover must run before the close so
+	// waiters blocked on slot.done observe slot.err, and the slot must be
+	// removed so a later request can retry the build.
+	defer close(slot.done)
+	defer func() {
+		if v := recover(); v != nil {
+			s.querierMu.Lock()
+			delete(s.queriers, key)
+			s.querierMu.Unlock()
+			slot.err = s.recordPanic("querier build", v)
+		}
+	}()
 	opts := append([]QuerierOption(nil), s.opts.QuerierOptions...)
 	if epsilon != 0 {
 		opts = append(opts, WithEpsilon(epsilon))
@@ -779,7 +839,6 @@ func (s *Service) build(key querierKey, slot *querierSlot, st *graphState, algor
 			s.querierMu.Unlock()
 		}
 	}
-	close(slot.done)
 }
 
 // evictQueriersLocked drops least-recently-used completed queriers beyond
@@ -816,14 +875,18 @@ func (s *Service) Stats() ServiceStats {
 	s.querierMu.Unlock()
 	st := s.state.Load()
 	out := ServiceStats{
-		Queries:       s.queries.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		Errors:        s.errors.Load(),
-		CachedResults: s.cache.len(),
-		QueueDepth:    len(s.jobs),
-		InFlight:      int(s.inFlight.Load()),
-		Queriers:      queriers,
-		GraphEpoch:    st.epoch,
+		Queries:         s.queries.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		Errors:          s.errors.Load(),
+		CachedResults:   s.cache.len(),
+		QueueDepth:      len(s.jobs),
+		InFlight:        int(s.inFlight.Load()),
+		Queriers:        queriers,
+		GraphEpoch:      st.epoch,
+		PanicsRecovered: s.panics.Load(),
+	}
+	if p := s.lastPanic.Load(); p != nil {
+		out.LastPanic = *p
 	}
 	if st.diagIdx != nil {
 		ds := st.diagIdx.Stats()

@@ -1,0 +1,178 @@
+package exactsim_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/internal/algo"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// panicNextQueries arms the test-panic algorithm: while positive, each
+// SingleSource decrements it and panics. panicNextBuilds does the same
+// for the factory (the querier-build path).
+var (
+	panicNextQueries atomic.Int64
+	panicNextBuilds  atomic.Int64
+	registerPanicAlg sync.Once
+)
+
+const panicAlgName = "test-panic"
+
+// panicQuerier answers deterministic fake scores when disarmed — a pure
+// function of (source, n), so every replica agrees bit for bit — and
+// panics when armed. It exists to prove containment, not similarity.
+type panicQuerier struct{ g *graph.Graph }
+
+func (q *panicQuerier) Name() string        { return panicAlgName }
+func (q *panicQuerier) Graph() *graph.Graph { return q.g }
+
+func (q *panicQuerier) SingleSource(ctx context.Context, source graph.NodeID) (*algo.Result, error) {
+	if panicNextQueries.Load() > 0 && panicNextQueries.Add(-1) >= 0 {
+		panic("test-panic: injected query panic")
+	}
+	start := time.Now()
+	n := q.g.N()
+	scores := make([]float64, n)
+	for i := range scores {
+		d := int(source) - i
+		if d < 0 {
+			d = -d
+		}
+		scores[i] = 1 / float64(1+d)
+	}
+	scores[source] = 1
+	return &algo.Result{Algorithm: panicAlgName, Scores: scores, QueryTime: time.Since(start)}, nil
+}
+
+func (q *panicQuerier) TopK(ctx context.Context, source graph.NodeID, k int) ([]sparse.Entry, *algo.Result, error) {
+	res, err := q.SingleSource(ctx, source)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sparse.TopK(res.Scores, k, source), res, nil
+}
+
+func registerPanicAlgorithm() {
+	registerPanicAlg.Do(func() {
+		algo.Register(panicAlgName, func(ctx context.Context, g *graph.Graph, cfg algo.Config) (algo.Querier, error) {
+			if panicNextBuilds.Load() > 0 && panicNextBuilds.Add(-1) >= 0 {
+				panic("test-panic: injected build panic")
+			}
+			return &panicQuerier{g: g}, nil
+		})
+	})
+}
+
+// TestServicePanicContainment: a panicking algorithm costs one
+// CodeInternal response and a panics_recovered increment — never a
+// worker, never the process.
+func TestServicePanicContainment(t *testing.T) {
+	registerPanicAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(100, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := t.Context()
+
+	// Disarmed baseline: the fake algorithm answers.
+	base := svc.Query(ctx, exactsim.Request{Algorithm: panicAlgName, Source: 5})
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	if base.Result.Scores[5] != 1 {
+		t.Fatalf("fake scores wrong: %v", base.Result.Scores[:8])
+	}
+
+	// Armed: the panic surfaces as CodeInternal, not a crash.
+	panicNextQueries.Store(2)
+	for i := 0; i < 2; i++ {
+		resp := svc.Query(ctx, exactsim.Request{Algorithm: panicAlgName, Source: 5, NoCache: true})
+		if resp.Err == nil {
+			t.Fatalf("armed query %d succeeded", i)
+		}
+		if resp.Err.Code != exactsim.CodeInternal {
+			t.Fatalf("armed query %d: code %q, want internal", i, resp.Err.Code)
+		}
+		if !strings.Contains(resp.Err.Message, "panic") {
+			t.Fatalf("error does not mention the panic: %v", resp.Err)
+		}
+	}
+
+	st := svc.Stats()
+	if st.PanicsRecovered != 2 {
+		t.Fatalf("panics_recovered = %d, want 2", st.PanicsRecovered)
+	}
+	if !strings.Contains(st.LastPanic, "injected query panic") {
+		t.Fatalf("last_panic = %q", st.LastPanic)
+	}
+	if strings.Contains(st.LastPanic, "\n") {
+		t.Fatalf("last_panic carries a stack trace: %q", st.LastPanic)
+	}
+
+	// The pool survived: every worker still answers.
+	for src := 0; src < 8; src++ {
+		if resp := svc.Query(ctx, exactsim.Request{Algorithm: panicAlgName, Source: exactsim.NodeID(src), NoCache: true}); resp.Err != nil {
+			t.Fatalf("post-panic query %d failed: %v", src, resp.Err)
+		}
+	}
+	if errs := svc.Stats().Errors; errs < 2 {
+		t.Fatalf("errors counter %d did not count the panics", errs)
+	}
+}
+
+// TestServiceBuildPanicContainment: a factory panic during the
+// single-flight querier build fails that build (CodeInternal), releases
+// every waiter, and the next request retries the build successfully.
+func TestServiceBuildPanicContainment(t *testing.T) {
+	registerPanicAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(100, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := t.Context()
+
+	panicNextBuilds.Store(1)
+	// Two concurrent first-queries share the single-flight build; both
+	// must see its failure rather than hang on slot.done.
+	var wg sync.WaitGroup
+	errsCh := make(chan *exactsim.Error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := svc.Query(ctx, exactsim.Request{Algorithm: panicAlgName, Source: 3, NoCache: true})
+			errsCh <- resp.Err
+		}()
+	}
+	wg.Wait()
+	close(errsCh)
+	sawInternal := 0
+	for e := range errsCh {
+		if e != nil && e.Code == exactsim.CodeInternal {
+			sawInternal++
+		}
+	}
+	if sawInternal == 0 {
+		t.Fatal("no waiter saw the build panic as CodeInternal")
+	}
+	if got := svc.Stats().PanicsRecovered; got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+
+	// The poisoned slot was removed: a fresh request rebuilds and answers.
+	resp := svc.Query(ctx, exactsim.Request{Algorithm: panicAlgName, Source: 3})
+	if resp.Err != nil {
+		t.Fatalf("rebuild after build panic failed: %v", resp.Err)
+	}
+}

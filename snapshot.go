@@ -2,6 +2,7 @@ package exactsim
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -102,6 +103,17 @@ func writeSnapshot(w io.Writer, g *Graph, ix *DiagSampleIndex) error {
 // + rename): a crash mid-write can never leave a half-container where
 // the next boot's -snapshot flag would find it.
 func (s *Service) SaveSnapshot(path string) error {
+	return s.SaveSnapshotKeep(path, 0)
+}
+
+// SaveSnapshotKeep is SaveSnapshot with generation rotation: before the
+// new container lands at path, the previous one moves to path.1, the one
+// before to path.2, … up to path.keep (the oldest is dropped). Rotation
+// happens only after the new container's bytes are safely on disk, so a
+// failed save never consumes a generation — and a boot that finds path
+// corrupt (torn write, bit rot) can fall back to path.1 instead of a
+// cold build (see BootSnapshot). keep ≤ 0 rotates nothing.
+func (s *Service) SaveSnapshotKeep(path string, keep int) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*.tmp")
 	if err != nil {
 		return err
@@ -110,14 +122,107 @@ func (s *Service) SaveSnapshot(path string) error {
 	// CreateTemp's 0600 would survive the rename; snapshots are fleet
 	// artifacts, give them normal file permissions.
 	tmp.Chmod(0o644)
-	if err := s.Snapshot(tmp); err != nil {
+	var w io.Writer = tmp
+	if s.opts.SnapshotWriteWrap != nil {
+		w = s.opts.SnapshotWriteWrap(tmp)
+	}
+	if err := s.Snapshot(w); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
+	// The replacement container exists in full; only now is it safe to
+	// shift the old generations (oldest first, path.keep falls off).
+	for i := keep - 1; i >= 1; i-- {
+		if err := renameGen(genPath(path, i), genPath(path, i+1)); err != nil {
+			return err
+		}
+	}
+	if keep > 0 {
+		if err := renameGen(path, genPath(path, 1)); err != nil {
+			return err
+		}
+	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// genPath names generation i of a snapshot path: path itself for i=0,
+// path.1, path.2, … for its predecessors.
+func genPath(path string, i int) string {
+	if i <= 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.%d", path, i)
+}
+
+// renameGen is os.Rename that treats a missing source as "nothing to
+// rotate" — the normal case until keep saves have happened.
+func renameGen(from, to string) error {
+	if err := os.Rename(from, to); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// BootReport tells the story of one BootSnapshot call: which generation
+// files were probed, which were damaged and moved aside, and which one
+// (if any) booted. Daemons log it so a quarantine never happens silently.
+type BootReport struct {
+	// Opened is the generation that booted ("" if none did).
+	Opened string
+	// Tried lists every generation probed, newest first.
+	Tried []string
+	// Quarantined lists the damaged generations, each already renamed to
+	// its original name + ".quarantine" so the evidence survives for a
+	// post-mortem and the next boot doesn't trip over the same bytes.
+	Quarantined []string
+}
+
+// BootSnapshot opens the newest intact snapshot generation at path:
+// path itself first, then path.1, path.2, … (the SaveSnapshotKeep
+// rotation chain) until one opens. A generation that fails to open —
+// torn write, flipped bits, grafted sections; anything the container
+// checksums or the diag-spill binding reject — is renamed to
+// <name>.quarantine and the next-older generation is tried. The report
+// is returned even alongside an error, so callers can log what was
+// probed and what was impounded before falling back to a cold build.
+func BootSnapshot(path string, opts ServiceOptions) (*Service, *BootReport, error) {
+	rep := &BootReport{}
+	var errs []error
+	for i := 0; ; i++ {
+		cand := genPath(path, i)
+		if _, err := os.Stat(cand); err != nil {
+			if os.IsNotExist(err) {
+				if i == 0 {
+					// The primary may be gone (quarantined by a previous
+					// boot) while rotated generations remain — keep probing.
+					continue
+				}
+				break // the rotation chain ends at the first gap
+			}
+			return nil, rep, err
+		}
+		rep.Tried = append(rep.Tried, cand)
+		s, err := OpenSnapshot(cand, opts)
+		if err == nil {
+			rep.Opened = cand
+			return s, rep, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", cand, err))
+		q := cand + ".quarantine"
+		if rerr := os.Rename(cand, q); rerr != nil {
+			errs = append(errs, fmt.Errorf("quarantining %s: %w", cand, rerr))
+		} else {
+			rep.Quarantined = append(rep.Quarantined, q)
+		}
+	}
+	if len(rep.Tried) == 0 {
+		return nil, rep, Errorf(CodeNotFound, "exactsim: no snapshot generations at %s", path)
+	}
+	return nil, rep, Errorf(CodeInvalidArgument,
+		"exactsim: every snapshot generation at %s failed to open: %v", path, errors.Join(errs...))
 }
 
 // OpenSnapshot starts a Service from a snapshot container: the graph is

@@ -1,0 +1,235 @@
+package exactsim_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/internal/fault"
+)
+
+func fileExists(t *testing.T, path string) bool {
+	t.Helper()
+	_, err := os.Stat(path)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return err == nil
+}
+
+// flipByte damages a snapshot container the way bit rot or a torn
+// write does: one byte in the middle of the file changes. The section
+// CRC64 must catch it on open.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveSnapshotKeepRotates: each save shifts the previous container
+// down one generation, and the chain is bounded — with keep=2, a third
+// predecessor never appears no matter how many saves happen. Every
+// surviving generation remains an intact, openable container.
+func TestSaveSnapshotKeepRotates(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 11)
+	svc, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	path := filepath.Join(t.TempDir(), "rot.snap")
+	for i := 0; i < 4; i++ {
+		if err := svc.SaveSnapshotKeep(path, 2); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		if !fileExists(t, p) {
+			t.Fatalf("generation %s missing after 4 keep=2 saves", p)
+		}
+		s, err := exactsim.OpenSnapshot(p, snapshotServiceOptions())
+		if err != nil {
+			t.Fatalf("rotated generation %s does not open: %v", p, err)
+		}
+		s.Close()
+	}
+	if fileExists(t, path+".3") {
+		t.Fatal("keep=2 leaked a third generation")
+	}
+}
+
+// TestBootSnapshotQuarantinesCorruptPrimary is the ISSUE's boot drill:
+// the newest snapshot is damaged, so BootSnapshot impounds it (renamed
+// aside with its bytes intact for a post-mortem) and boots the previous
+// generation — whose answers are bit-identical to the writer's, because
+// a rotated generation is just an older consistent image of the same
+// graph epoch.
+func TestBootSnapshotQuarantinesCorruptPrimary(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(400, 3, 13)
+	writer, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	warmed := []exactsim.NodeID{2, 77, 310}
+	ref := make(map[exactsim.NodeID][]float64)
+	for _, src := range warmed {
+		ref[src] = mustQuery(t, writer, src).Scores
+	}
+
+	path := filepath.Join(t.TempDir(), "boot.snap")
+	if err := writer.SaveSnapshotKeep(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.SaveSnapshotKeep(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, path)
+
+	svc, rep, err := exactsim.BootSnapshot(path, snapshotServiceOptions())
+	if err != nil {
+		t.Fatalf("boot with intact previous generation failed: %v (report %+v)", err, rep)
+	}
+	defer svc.Close()
+	if rep.Opened != path+".1" {
+		t.Fatalf("booted %q, want the previous generation %q", rep.Opened, path+".1")
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != path+".quarantine" {
+		t.Fatalf("quarantine report: %+v", rep.Quarantined)
+	}
+	if !fileExists(t, path+".quarantine") {
+		t.Fatal("damaged container not preserved on disk")
+	}
+	if fileExists(t, path) {
+		t.Fatal("damaged primary still in place — the next boot would re-probe it")
+	}
+	for src, want := range ref {
+		got := mustQuery(t, svc, src).Scores
+		if i, ok := scoresBitEqual(want, got); !ok {
+			t.Fatalf("source %d: fallback-generation answer diverges at %d", src, i)
+		}
+	}
+}
+
+// TestBootSnapshotMissingPrimary: a boot after a previous quarantine
+// finds no file at the primary path at all — the probe continues into
+// the rotation chain instead of giving up.
+func TestBootSnapshotMissingPrimary(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 17)
+	writer, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	path := filepath.Join(t.TempDir(), "gap.snap")
+	if err := writer.SaveSnapshotKeep(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.SaveSnapshotKeep(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	svc, rep, err := exactsim.BootSnapshot(path, snapshotServiceOptions())
+	if err != nil {
+		t.Fatalf("boot from rotation chain alone failed: %v", err)
+	}
+	defer svc.Close()
+	if rep.Opened != path+".1" {
+		t.Fatalf("booted %q, want %q", rep.Opened, path+".1")
+	}
+}
+
+// TestBootSnapshotAllCorrupt: every generation damaged — BootSnapshot
+// reports the full story (all probed, all quarantined, none opened) and
+// returns an error so the daemon can fall back to a cold build.
+func TestBootSnapshotAllCorrupt(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 19)
+	writer, err := exactsim.NewService(g, snapshotServiceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	path := filepath.Join(t.TempDir(), "dead.snap")
+	if err := writer.SaveSnapshotKeep(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.SaveSnapshotKeep(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, path)
+	flipByte(t, path+".1")
+
+	svc, rep, err := exactsim.BootSnapshot(path, snapshotServiceOptions())
+	if err == nil {
+		svc.Close()
+		t.Fatal("boot succeeded with every generation corrupt")
+	}
+	if rep.Opened != "" {
+		t.Fatalf("report claims %q opened", rep.Opened)
+	}
+	if len(rep.Tried) != 2 || len(rep.Quarantined) != 2 {
+		t.Fatalf("report: tried %v quarantined %v", rep.Tried, rep.Quarantined)
+	}
+	for _, q := range rep.Quarantined {
+		if !fileExists(t, q) {
+			t.Fatalf("quarantined file %s missing", q)
+		}
+	}
+
+	// Nothing bootable at all → not_found, the cold-build signal.
+	_, _, err = exactsim.BootSnapshot(filepath.Join(t.TempDir(), "never.snap"), snapshotServiceOptions())
+	if e := exactsim.ToError(err); e == nil || e.Code != exactsim.CodeNotFound {
+		t.Fatalf("empty path: %v, want not_found", err)
+	}
+}
+
+// TestSnapshotWriteWrapFaultIsCaughtOnOpen closes the loop between the
+// fault layer and the quarantine path: a snapshot written through a
+// silently-corrupting writer (ServiceOptions.SnapshotWriteWrap — what
+// exactsimd's -fault flag installs) must be rejected by the container
+// checksums on open, never served — and BootSnapshot must quarantine it.
+func TestSnapshotWriteWrapFaultIsCaughtOnOpen(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(200, 3, 23)
+	inj := fault.New(fault.Config{Seed: 99, CorruptProb: 1})
+	opts := snapshotServiceOptions()
+	opts.SnapshotWriteWrap = func(w io.Writer) io.Writer { return inj.Writer(w) }
+	svc, err := exactsim.NewService(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Warm a little so the container has a diag section too.
+	mustQuery(t, svc, 5)
+
+	path := filepath.Join(t.TempDir(), "faulty.snap")
+	if err := svc.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Counts().Corruptions == 0 {
+		t.Fatal("injector corrupted nothing; the test is vacuous")
+	}
+	if s, err := exactsim.OpenSnapshot(path, snapshotServiceOptions()); err == nil {
+		s.Close()
+		t.Fatal("corrupted container opened cleanly")
+	}
+	_, rep, err := exactsim.BootSnapshot(path, snapshotServiceOptions())
+	if err == nil {
+		t.Fatal("BootSnapshot accepted the corrupt container")
+	}
+	if len(rep.Quarantined) != 1 || !fileExists(t, path+".quarantine") {
+		t.Fatalf("corrupt container not quarantined: %+v", rep)
+	}
+}

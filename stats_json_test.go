@@ -2,6 +2,7 @@ package exactsim
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -29,6 +30,8 @@ var statsTagGolden = map[string]string{
 	"DiagExplores":      "diag_explores",
 	"DiagResidentBytes": "diag_resident_bytes",
 	"DiagBudgetBytes":   "diag_budget_bytes",
+	"PanicsRecovered":   "panics_recovered",
+	"LastPanic":         "last_panic",
 }
 
 func TestServiceStatsTagsComplete(t *testing.T) {
@@ -68,6 +71,8 @@ func TestServiceStatsJSONRoundTrip(t *testing.T) {
 			f.SetFloat(0.5 + float64(i))
 		case reflect.Bool:
 			f.SetBool(true)
+		case reflect.String:
+			f.SetString(fmt.Sprintf("s%d", i))
 		default:
 			t.Fatalf("ServiceStats.%s has kind %s — teach this test to populate it",
 				v.Type().Field(i).Name, f.Kind())

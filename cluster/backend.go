@@ -12,9 +12,14 @@ import (
 )
 
 // backend is one fleet member as the router sees it: a protocol client
-// plus the membership and load state routing decisions read. Hot-path
-// fields are atomics; the consec* poll counters belong to the poller
-// goroutine alone (serialized by pollMu).
+// plus the membership and load state routing decisions read.
+//
+// Synchronization discipline (one per field group, audited in PR 8):
+// every field the query hot path or Stats touches is an atomic; the
+// plain consecFails/epochLag ints are poller-owned (only touched under
+// Router.pollMu); brk is internally mutex-guarded and never accessed
+// around its methods. Do not mix idioms within a group — a field either
+// stays atomic everywhere or stays lock-guarded everywhere.
 type backend struct {
 	url    string
 	client *httpapi.Client
@@ -38,7 +43,8 @@ type backend struct {
 	stats atomic.Pointer[exactsim.ServiceStats]
 
 	// lastPollErr is the last poll's failure text ("" on success), for
-	// the fleet stats view. Guarded by pollMu via the poll cycle.
+	// the fleet stats view. Atomic, not pollMu: the poller is the only
+	// writer, but Router.Stats reads it lock-free off the poll cycle.
 	lastPollErr atomic.Pointer[string]
 
 	// brk is the transport-failure circuit breaker (see breaker.go),

@@ -2,10 +2,10 @@ package cluster
 
 import (
 	"context"
-	"fmt"
 	"os"
 	"path/filepath"
 
+	exactsim "github.com/exactsim/exactsim"
 	"github.com/exactsim/exactsim/httpapi"
 )
 
@@ -30,13 +30,13 @@ func CloneFromPeer(ctx context.Context, peerURL, path string, opts ...httpapi.Cl
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".clone-*")
 	if err != nil {
-		return 0, 0, fmt.Errorf("cluster: clone temp file: %w", err)
+		return 0, 0, exactsim.Wrapf(exactsim.CodeInternal, err, "cluster: clone temp file")
 	}
 	defer os.Remove(tmp.Name())
 	n, epoch, err := c.Snapshot(ctx, tmp)
 	if err != nil {
 		tmp.Close()
-		return n, epoch, fmt.Errorf("cluster: cloning from %s: %w", peerURL, err)
+		return n, epoch, exactsim.Wrapf(exactsim.CodeUnavailable, err, "cluster: cloning from %s", peerURL)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()

@@ -24,6 +24,9 @@ import (
 //
 // States: closed (normal), open (skip until cooldown elapses), half-open
 // (exactly one probe in flight decides).
+// breaker is mutex-only: every field, counters included, is read and
+// written under mu (trips is exposed to Stats through state(), not
+// atomically) — the struct deliberately has no atomic fields to mix with.
 type breaker struct {
 	mu       sync.Mutex
 	open     bool

@@ -52,7 +52,7 @@ type Router struct {
 // Options.PollInterval is negative.
 func New(backendURLs []string, opts Options) (*Router, error) {
 	if len(backendURLs) == 0 {
-		return nil, errors.New("cluster: no backends")
+		return nil, exactsim.Errorf(exactsim.CodeInvalidArgument, "cluster: no backends")
 	}
 	opts.normalize()
 	r := &Router{
@@ -63,7 +63,7 @@ func New(backendURLs []string, opts Options) (*Router, error) {
 	seen := make(map[string]bool, len(backendURLs))
 	for _, u := range backendURLs {
 		if seen[u] {
-			return nil, errors.New("cluster: duplicate backend " + u)
+			return nil, exactsim.Errorf(exactsim.CodeInvalidArgument, "cluster: duplicate backend %s", u)
 		}
 		seen[u] = true
 		b, err := newBackend(u, &r.clientCfg)
@@ -102,7 +102,7 @@ func (r *Router) Add(url string) error {
 	defer r.mu.Unlock()
 	for _, have := range r.backends {
 		if have.url == url {
-			return errors.New("cluster: backend already present: " + url)
+			return exactsim.Errorf(exactsim.CodeInvalidArgument, "cluster: backend already present: %s", url)
 		}
 	}
 	r.backends = append(r.backends, b)

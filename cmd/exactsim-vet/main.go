@@ -1,0 +1,73 @@
+// Command exactsim-vet is the project's custom vet tool: the analyzers in
+// internal/lint behind the standard `go vet -vettool` protocol.
+//
+// Protocol mode (what the go command invokes):
+//
+//	go vet -vettool=$(go build -o /tmp/exactsim-vet ./cmd/exactsim-vet && echo /tmp/exactsim-vet) ./...
+//
+// Convenience mode: invoked with package patterns (or nothing), it builds
+// nothing and re-executes itself through `go vet -vettool=<self>` so a bare
+//
+//	exactsim-vet ./...
+//
+// does the right thing from a shell or a CI step.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/exactsim/exactsim/internal/lint/ctxpoll"
+	"github.com/exactsim/exactsim/internal/lint/detrange"
+	"github.com/exactsim/exactsim/internal/lint/errcode"
+	"github.com/exactsim/exactsim/internal/lint/rngsource"
+	"github.com/exactsim/exactsim/internal/lint/unitchecker"
+)
+
+func main() {
+	if standaloneInvocation(os.Args[1:]) {
+		patterns := os.Args[1:]
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exactsim-vet:", err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintln(os.Stderr, "exactsim-vet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	unitchecker.Main(
+		detrange.Analyzer,
+		rngsource.Analyzer,
+		errcode.Analyzer,
+		ctxpoll.Analyzer,
+	)
+}
+
+// standaloneInvocation distinguishes a human's `exactsim-vet ./...` from
+// the go command's `exactsim-vet -flags` / `exactsim-vet <unit>.cfg`.
+func standaloneInvocation(args []string) bool {
+	if len(args) == 0 {
+		return true
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return false
+		}
+	}
+	return true
+}

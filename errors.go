@@ -46,12 +46,34 @@ const (
 type Error struct {
 	Code    ErrorCode `json:"code"`
 	Message string    `json:"message,omitempty"`
+
+	// cause is the wrapped local error (Wrapf). It keeps errors.Is/As
+	// chains intact in-process and is deliberately not serialized: only
+	// Code and Message cross a transport boundary.
+	cause error
 }
 
 // Errorf builds an *Error with a formatted message.
 func Errorf(code ErrorCode, format string, args ...any) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
 }
+
+// Wrapf builds an *Error that carries code and wraps cause: the message
+// becomes "<formatted>: <cause>", and Unwrap exposes cause so local
+// errors.Is/As chains still see the original error. Use it where a
+// fmt.Errorf("...: %w", err) used to leak an uncoded error across the
+// public surface.
+func Wrapf(code ErrorCode, cause error, format string, args ...any) *Error {
+	msg := fmt.Sprintf(format, args...)
+	if cause != nil {
+		msg += ": " + cause.Error()
+	}
+	return &Error{Code: code, Message: msg, cause: cause}
+}
+
+// Unwrap exposes the wrapped cause (nil for errors built by Errorf or
+// received over a transport).
+func (e *Error) Unwrap() error { return e.cause }
 
 // Error implements the error interface.
 func (e *Error) Error() string {

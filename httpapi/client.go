@@ -141,10 +141,10 @@ func WithRetryBackoff(base, cap time.Duration) ClientOption {
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: bad base URL %q: %w", baseURL, err)
+		return nil, exactsim.Wrapf(exactsim.CodeInvalidArgument, err, "httpapi: bad base URL %q", baseURL)
 	}
 	if u.Scheme == "" || u.Host == "" {
-		return nil, fmt.Errorf("httpapi: base URL %q needs a scheme and host", baseURL)
+		return nil, exactsim.Errorf(exactsim.CodeInvalidArgument, "httpapi: base URL %q needs a scheme and host", baseURL)
 	}
 	c := &Client{
 		base: strings.TrimRight(u.String(), "/"), hc: sharedClient,
@@ -282,13 +282,13 @@ func (c *Client) Snapshot(ctx context.Context, w io.Writer) (n int64, epoch uint
 		if json.Unmarshal(data, &env) == nil && env.Err != nil {
 			return 0, 0, env.Err
 		}
-		return 0, 0, fmt.Errorf("httpapi: POST /v1/snapshot returned %s", res.Status)
+		return 0, 0, exactsim.Errorf(exactsim.CodeUnavailable, "httpapi: POST /v1/snapshot returned %s", res.Status)
 	}
 	defer res.Body.Close()
 	epoch, _ = strconv.ParseUint(res.Header.Get("X-Exactsim-Graph-Epoch"), 10, 64)
 	n, err = io.Copy(w, res.Body)
 	if err != nil {
-		return n, epoch, fmt.Errorf("httpapi: downloading snapshot: %w", err)
+		return n, epoch, exactsim.Wrapf(exactsim.CodeUnavailable, err, "httpapi: downloading snapshot")
 	}
 	return n, epoch, nil
 }
@@ -321,7 +321,7 @@ func (c *Client) Health(ctx context.Context) error {
 	}
 	drainClose(res.Body)
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("httpapi: health check returned %s", res.Status)
+		return exactsim.Errorf(exactsim.CodeUnavailable, "httpapi: health check returned %s", res.Status)
 	}
 	return nil
 }
@@ -340,7 +340,7 @@ func (c *Client) Ready(ctx context.Context) error {
 	}
 	drainClose(res.Body)
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("httpapi: readiness check returned %s", res.Status)
+		return exactsim.Errorf(exactsim.CodeUnavailable, "httpapi: readiness check returned %s", res.Status)
 	}
 	return nil
 }

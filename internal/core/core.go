@@ -323,7 +323,7 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 		sc.pi = make([]float64, n)
 	}
 
-	t0 := time.Now()
+	t0 := now()
 	hops, err := ppr.HopsDenseCtx(ctx, e.op, source, ppr.Config{C: c, L: L})
 	if err != nil {
 		return nil, err
@@ -335,12 +335,12 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 			pi[k] += v
 		}
 	}
-	res.ForwardTime = time.Since(t0)
+	res.ForwardTime = since(t0)
 
 	// R = 6·ln n/((1−√c)⁴·ε²); R(k) = ⌈R·π_i(k)⌉ (Algorithm 1 lines 6-8),
 	// capped per node (Basic mode takes the cap uncompensated: it is the
 	// ablation baseline, and Algorithm 2 has no depth knob to spend).
-	t0 = time.Now()
+	t0 = now()
 	gamma := math.Pow(1-sqrtC, 4)
 	R := e.opt.SampleFactor * 6 * lnN(n) / (gamma * eps * eps)
 	var reqs []diag.Request
@@ -364,12 +364,12 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 		dHat[req.Node] = dvals[i]
 	}
 	res.DNodes = len(reqs)
-	res.DiagTime = time.Since(t0)
+	res.DiagTime = since(t0)
 
 	// Backward accumulation (Algorithm 1 lines 9-13). The basic engine's
 	// products are dense, so every tmp entry is overwritten before it is
 	// read and the pooled array needs no clearing.
-	t0 = time.Now()
+	t0 = now()
 	s := make([]float64, n)
 	tmp := sc.tmp
 	invOneMinusSqrtC := 1 / (1 - sqrtC)
@@ -388,7 +388,7 @@ func (e *Engine) singleSourceBasic(ctx context.Context, source graph.NodeID) (*R
 			}
 		}
 	}
-	res.BackwardTime = time.Since(t0)
+	res.BackwardTime = since(t0)
 	res.Scores = s
 	res.PiNorm2 = ppr.Norm2Squared(pi)
 	// hop vectors (n·(L+1) floats) dominate; plus π, D̂, s, tmp.
@@ -423,7 +423,7 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 	clean := false
 	defer func() { e.putScratch(sc, clean) }()
 
-	t0 := time.Now()
+	t0 := now()
 	hops, err := ppr.HopsCtx(ctx, e.op, source, ppr.Config{C: c, L: L, Threshold: threshold})
 	if err != nil {
 		return nil, err
@@ -431,7 +431,7 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 	piVec := ppr.Sum(hops, n)
 	piNorm2 := piVec.Norm2Squared()
 	res.PiNorm2 = piNorm2
-	res.ForwardTime = time.Since(t0)
+	res.ForwardTime = since(t0)
 
 	// π²-proportional allocation (Lemma 3): R(k) = ⌈R·π(k)²/‖π‖²⌉ with the
 	// total scaled down by ‖π‖²: effectively R(k) = ⌈6·ln n·π(k)²/((1−√c)⁴ε′²)⌉.
@@ -439,7 +439,7 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 	// deterministic phase instead: depth ℓ* = ⌈log_{1/c}(R_theory/R_cap)⌉/2
 	// multiplies the tail variance by c^{2ℓ*} = R_cap/R_theory, so the
 	// combination meets the same variance target at feasible cost.
-	t0 = time.Now()
+	t0 = now()
 	gamma := math.Pow(1-sqrtC, 4)
 	base := e.opt.SampleFactor * 6 * lnN(n) / (gamma * epsPrime * epsPrime)
 	logInvC := math.Log(1 / c)
@@ -475,14 +475,14 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 		dHat[req.Node] = dvals[i]
 	}
 	res.DNodes = len(reqs)
-	res.DiagTime = time.Since(t0)
+	res.DiagTime = since(t0)
 
 	// Backward accumulation over sparse hop vectors. s's support spreads
 	// from the source's backward reach, so the Pᵀ products run
 	// frontier-aware: early levels scatter over the few reached nodes
 	// instead of gathering over all n rows, and the frontiers also track
 	// which stale entries of the pooled tmp need zeroing.
-	t0 = time.Now()
+	t0 = now()
 	s := make([]float64, n)
 	tmp := sc.tmp
 	sF, tmpF := sc.sF, sc.tmpF
@@ -502,7 +502,7 @@ func (e *Engine) singleSourceOptimized(ctx context.Context, source graph.NodeID)
 			sF.Add(k)
 		}
 	}
-	res.BackwardTime = time.Since(t0)
+	res.BackwardTime = since(t0)
 	res.Scores = s
 	res.ExtraBytes = ppr.TotalBytes(hops) + piVec.Bytes()
 	res.ExtraBytes += 3 * int64(n) * 8 // dHat, s, tmp
@@ -543,11 +543,11 @@ func (e *Engine) SingleSourceWithD(source graph.NodeID, d []float64) (*Result, e
 		L = ppr.Levels(c, eps/2)
 		res.L = L
 	}
-	t0 := time.Now()
+	t0 := now()
 	hops := ppr.Hops(e.op, source, ppr.Config{C: c, L: L, Threshold: threshold})
-	res.ForwardTime = time.Since(t0)
+	res.ForwardTime = since(t0)
 
-	t0 = time.Now()
+	t0 = now()
 	s := make([]float64, n)
 	tmp := make([]float64, n)
 	invOneMinusSqrtC := 1 / (1 - sqrtC)
@@ -561,7 +561,7 @@ func (e *Engine) SingleSourceWithD(source graph.NodeID, d []float64) (*Result, e
 			s[k] += invOneMinusSqrtC * d[k] * hj.Val[i]
 		}
 	}
-	res.BackwardTime = time.Since(t0)
+	res.BackwardTime = since(t0)
 	res.Scores = s
 	res.ExtraBytes = ppr.TotalBytes(hops) + 3*int64(n)*8
 	return res, nil

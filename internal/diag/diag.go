@@ -526,6 +526,10 @@ func BatchCtx(ctx context.Context, g *graph.Graph, reqs []Request, opt Options) 
 		watchDone := make(chan struct{})
 		defer close(watchDone)
 		go func() {
+			// A race between cancellation and normal completion only
+			// decides whether workers abandon in-flight chunks; their
+			// partial results are discarded once BatchCtx sees ctx.Err().
+			//lint:nondeterministic-ok cancellation watcher; losing the race only abandons work, results are discarded on ctx.Err()
 			select {
 			case <-ctx.Done():
 				stop.Store(true)

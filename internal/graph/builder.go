@@ -74,13 +74,7 @@ func (b *Builder) Build() *Graph {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, c := order[i], order[j]
-		if b.src[a] != b.src[c] {
-			return b.src[a] < b.src[c]
-		}
-		return b.dst[a] < b.dst[c]
-	})
+	sort.Sort(edgeSorter{order: order, src: b.src, dst: b.dst})
 
 	g := &Graph{n: b.n}
 	g.outOff = make([]int64, b.n+1)
@@ -138,4 +132,23 @@ func FromUndirectedEdges(n int, edges [][2]NodeID) *Graph {
 		b.AddUndirected(e[0], e[1])
 	}
 	return b.Build()
+}
+
+// edgeSorter orders edge ids by (src, dst) with a typed, reflection-free
+// sort: detrange bans sort.Slice in kernel packages (reflective swapper,
+// non-stable order), and edge ids with equal keys merge as duplicates
+// right after the sort, so the typed non-stable sort is exact.
+type edgeSorter struct {
+	order    []int32
+	src, dst []int32
+}
+
+func (e edgeSorter) Len() int      { return len(e.order) }
+func (e edgeSorter) Swap(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] }
+func (e edgeSorter) Less(i, j int) bool {
+	a, c := e.order[i], e.order[j]
+	if e.src[a] != e.src[c] {
+		return e.src[a] < e.src[c]
+	}
+	return e.dst[a] < e.dst[c]
 }

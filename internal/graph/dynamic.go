@@ -178,9 +178,17 @@ func (d *DynamicGraph) Subscribe(fn func(*Graph)) (cancel func()) {
 func (d *DynamicGraph) Publish() *Graph {
 	g := d.Snapshot()
 	d.subMu.Lock()
-	fns := make([]func(*Graph), 0, len(d.subs))
-	for _, fn := range d.subs {
-		fns = append(fns, fn)
+	// Deliver in subscription order: map iteration order would make
+	// multi-subscriber delivery (e.g. a Service and a metrics tap)
+	// differ run to run.
+	ids := make([]int, 0, len(d.subs))
+	for id := range d.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]func(*Graph), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, d.subs[id])
 	}
 	d.subMu.Unlock()
 	for _, fn := range fns {

@@ -196,11 +196,7 @@ func (op *Operator) runShards(shards int, acc *sparse.Accumulator, process func(
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				s := int(atomic.AddInt64(&next, 1) - 1)
-				if s >= shards {
-					return
-				}
+			for s := int(atomic.AddInt64(&next, 1) - 1); s < shards; s = int(atomic.AddInt64(&next, 1) - 1) {
 				process(s, parts[s])
 			}
 		}()

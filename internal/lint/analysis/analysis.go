@@ -1,0 +1,84 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic).
+//
+// The build environment for this repository is hermetic — no module proxy —
+// so the upstream framework cannot be imported; this package provides the
+// same shape on top of the standard library's go/ast, go/token and go/types
+// so the project's analyzers (internal/lint/...) stay source-compatible with
+// upstream should the dependency ever become available: an analyzer written
+// against this package ports to x/tools by changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It mirrors the upstream type of the
+// same name; only the fields the repository's drivers need are present.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. By upstream
+	// convention it is a lowercase identifier.
+	Name string
+
+	// Doc is the help text: first line is a summary, the rest elaborates.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Validate rejects analyzer sets that are malformed (missing names or Run
+// functions, duplicate names) before a driver trusts them.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil || a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Pass bundles everything one analyzer run may inspect about one package,
+// plus the Report sink for its findings.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Drivers install it; analyzers should
+	// prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRangef reports a formatted diagnostic at the start of a node.
+func (p *Pass) ReportRangef(n ast.Node, format string, args ...any) {
+	p.Reportf(n.Pos(), format, args...)
+}
+
+// Diagnostic is one finding: a position and a message. Category optionally
+// tags a sub-check within an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

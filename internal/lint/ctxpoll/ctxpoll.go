@@ -1,0 +1,85 @@
+// Package ctxpoll preserves the cancellation contract (PR 1: every query
+// honors its context) inside the deterministic kernel packages: a loop
+// with no loop condition — `for { ... }` — has no structural bound, so it
+// must visibly poll for cancellation (a context, or a stop flag) or carry
+// a recorded termination argument.
+//
+// The analyzer deliberately trusts conditioned loops: `for lo < hi`,
+// `for len(xs) > 0`, and three-clause counted loops state their progress
+// contract in the condition, and flagging them all would drown the signal
+// (binary searches, sift-downs, drain loops). The dangerous shape in
+// review experience is the bare infinite loop whose exit is buried in a
+// branch deep inside the body: those either poll ctx/stop, or explain
+// themselves with '//lint:bounded <termination argument>'.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/exactsim/exactsim/internal/lint"
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "require cancellation polling (or a termination argument) in unconditioned kernel loops\n\n" +
+		"A `for { ... }` loop in a deterministic kernel package must reference a\n" +
+		"context.Context, a stop/quit/done flag, or carry '" + lint.BoundedDirective + " <why>'\n" +
+		"so unbounded work stays cancellable (the PR 1 contract).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Validate //lint:bounded justifications everywhere, even in
+	// non-kernel packages, so a bare directive never silently rots.
+	sup := lint.NewSuppressorFor(pass, lint.BoundedDirective)
+	if !lint.IsKernelPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	lint.WalkFiles(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if sup.Suppressed(loop.Pos()) || pollsCancellation(pass, loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.Pos(), "unconditioned loop in kernel package neither polls a context/stop flag nor documents termination; check ctx.Err(), or escape with '%s <termination argument>'", lint.BoundedDirective)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// pollsCancellation reports whether the loop body references a
+// context.Context value (ctx.Err(), <-ctx.Done(), helper(ctx, ...) all
+// qualify) or an identifier that names a stop flag.
+func pollsCancellation(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			if named, ok := obj.Type().(*types.Named); ok {
+				o := named.Obj()
+				if o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context" {
+					found = true
+					return false
+				}
+			}
+		}
+		switch name := strings.ToLower(id.Name); {
+		case strings.Contains(name, "stop"), strings.Contains(name, "quit"),
+			strings.Contains(name, "cancel"), name == "done":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,278 @@
+// Package detrange flags iteration-order and scheduling nondeterminism in
+// the deterministic kernel packages: map ranges whose effect depends on
+// iteration order, reflection-based non-stable sort.Slice calls, and
+// multi-way selects whose winner is chosen pseudorandomly by the runtime.
+//
+// Go randomizes map iteration order per run and select-case choice per
+// execution; inside the kernel either one silently breaks the bit-exact
+// reproducibility that chunk merging (DESIGN §7) and replica hedging
+// (DESIGN §9) are built on.
+//
+// The analyzer is pattern-aware rather than absolutist: a map range whose
+// body is provably order-insensitive — collecting keys that are sorted
+// immediately after, copying entries into another map, integer counting —
+// is accepted without a directive, because that idiom is the *fix* for
+// nondeterministic iteration, not an instance of it.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/exactsim/exactsim/internal/lint"
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag order-nondeterministic constructs in deterministic kernel packages\n\n" +
+		"Reports map ranges with order-sensitive bodies, sort.Slice (reflection-based,\n" +
+		"non-stable), and selects with more than one live communication case. Escape\n" +
+		"with '" + lint.Directive + " <justification>' when the nondeterminism provably\n" +
+		"cannot reach scored output.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Validate directive justifications everywhere — a bare
+	// //lint:nondeterministic-ok must not silently rot in any package —
+	// then gate the actual checks to the kernel set.
+	sup := lint.NewSuppressor(pass)
+	if !lint.IsKernelPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	lint.WalkFiles(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkBlock(pass, sup, n.List)
+			case *ast.CaseClause:
+				checkBlock(pass, sup, n.Body)
+			case *ast.CommClause:
+				checkBlock(pass, sup, n.Body)
+			case *ast.CallExpr:
+				checkSortSlice(pass, sup, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, sup, n)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// checkBlock examines every map range among stmts with visibility into the
+// statements that follow it, so the keys-then-sort idiom can be recognized.
+func checkBlock(pass *analysis.Pass, sup *lint.Suppressor, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.Types[rng.X].Type
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		if sup.Suppressed(rng.Pos()) {
+			continue
+		}
+		if rng.Key == nil && rng.Value == nil {
+			// `for range m` runs the body len(m) identical times;
+			// no iteration-order dependence to observe.
+			continue
+		}
+		if orderInsensitive(pass, rng, stmts[i+1:]) {
+			continue
+		}
+		pass.Reportf(rng.Pos(), "map iteration order is randomized per run; kernel results must not depend on it — iterate sorted keys, or escape with '%s <why>'", lint.Directive)
+	}
+}
+
+// orderInsensitive reports whether the range body provably commutes:
+// every statement is order-insensitive on its own, and every slice the
+// body appends to is sorted in the statements following the loop.
+func orderInsensitive(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	var sinks []types.Object // append targets that must be sorted later
+	for _, s := range rng.Body.List {
+		obj, ok := stmtCommutes(pass, s)
+		if !ok {
+			return false
+		}
+		if obj != nil {
+			sinks = append(sinks, obj)
+		}
+	}
+	for _, obj := range sinks {
+		if !sortedLater(pass, obj, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtCommutes classifies one loop-body statement. It returns (sink, true)
+// when the statement is order-insensitive; sink is non-nil for an append
+// whose target must additionally be sorted after the loop.
+func stmtCommutes(pass *analysis.Pass, s ast.Stmt) (types.Object, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil, false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		// x = append(x, ...): accumulates a multiset; order-insensitive
+		// once sorted. The target must be a plain identifier so the
+		// later sort can be matched to it.
+		if id, ok := lhs.(*ast.Ident); ok && s.Tok == token.ASSIGN {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+				if len(call.Args) > 0 {
+					if arg0, ok := call.Args[0].(*ast.Ident); ok && arg0.Name == id.Name {
+						return pass.TypesInfo.ObjectOf(id), true
+					}
+				}
+			}
+		}
+		// dst[expr] = v where dst is a map: each distinct key writes a
+		// distinct cell, so iteration order cannot be observed (map
+		// copy / inversion idioms).
+		if ix, ok := lhs.(*ast.IndexExpr); ok && s.Tok == token.ASSIGN {
+			if t := pass.TypesInfo.Types[ix.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return nil, true
+				}
+			}
+		}
+		// n += k, n |= k, ...: exact and commutative for integers only —
+		// float addition is order-dependent in the last bits, which is
+		// precisely what this analyzer exists to catch.
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			if t := pass.TypesInfo.Types[lhs].Type; t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					return nil, true
+				}
+			}
+		}
+		return nil, false
+	case *ast.IncDecStmt:
+		return nil, true
+	case *ast.BranchStmt:
+		return nil, s.Tok == token.CONTINUE
+	case *ast.IfStmt:
+		// A pure filter — `if cond { continue }` with no else — only
+		// drops iterations; combined with commuting siblings it stays
+		// order-insensitive.
+		if s.Else != nil || len(s.Body.List) != 1 {
+			return nil, false
+		}
+		br, ok := s.Body.List[0].(*ast.BranchStmt)
+		return nil, ok && br.Tok == token.CONTINUE
+	case *ast.ExprStmt:
+		// delete(m, k) removes a key wherever in the order it appears.
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "delete") {
+			return nil, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// sortishFuncs are the callees accepted as "sorting the collected keys":
+// the stdlib sort/slices entry points plus anything whose name mentions
+// Sort (covering project-local typed sorters).
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.IndexExpr: // generic instantiation: slices.Sort[...]
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+	}
+	switch name {
+	case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable",
+		"SortFunc", "SortStableFunc":
+		return true
+	}
+	return false
+}
+
+// sortedLater reports whether obj is passed to a sort call somewhere in
+// the statements following the range loop.
+func sortedLater(pass *analysis.Pass, obj types.Object, rest []ast.Stmt) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// checkSortSlice flags sort.Slice: its reflect-based swapper is slow in
+// kernel hot loops, and its non-stable order makes ties land differently
+// across runs whenever the less function is not a total order.
+func checkSortSlice(pass *analysis.Pass, sup *lint.Suppressor, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" || fn.Name() != "Slice" {
+		return
+	}
+	if lint.IsTestFile(pass.Fset, call.Pos()) || sup.Suppressed(call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "sort.Slice is reflection-based and non-stable; kernel sorts must use a typed sort.Interface or a stable sort with a total order")
+}
+
+// checkSelect flags selects with two or more live communication cases:
+// when several are ready the runtime picks one uniformly at random, so any
+// kernel state touched in the winning case becomes schedule-dependent.
+func checkSelect(pass *analysis.Pass, sup *lint.Suppressor, sel *ast.SelectStmt) {
+	if lint.IsTestFile(pass.Fset, sel.Pos()) || sup.Suppressed(sel.Pos()) {
+		return
+	}
+	comm := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d communication cases resolves races pseudorandomly; kernel control flow must be schedule-independent — restructure, or escape with '%s <why>'", comm, lint.Directive)
+	}
+}

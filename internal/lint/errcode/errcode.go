@@ -1,0 +1,119 @@
+// Package errcode enforces the transport error taxonomy on the public
+// serving surface: every error an exported function or method of the root
+// exactsim package, httpapi, or cluster returns must be a coded
+// *exactsim.Error (or a sentinel the taxonomy maps, like ErrServiceClosed).
+//
+// Codes — not Go error identities — are what survives serialization
+// (DESIGN §5): a naked fmt.Errorf or errors.New escaping an exported
+// method reaches the wire as an uncoded "internal" blob, so the far side
+// loses retryability classification, errors.Is matching, and breaker
+// semantics. The analyzer flags the construction sites where such errors
+// are returned directly from the public surface; plumbing through
+// unexported helpers is reviewed by humans, but the overwhelmingly common
+// leak — `return fmt.Errorf(...)` in an exported method — is mechanical.
+package errcode
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/exactsim/exactsim/internal/lint"
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "require coded *exactsim.Error on the public serving surface\n\n" +
+		"Exported functions and methods of the exactsim, httpapi and cluster packages\n" +
+		"must not return naked fmt.Errorf/errors.New errors: those lose their code (and\n" +
+		"hence retryability and errors.Is identity) at the first process boundary. Use\n" +
+		"exactsim.Errorf(code, ...) or exactsim.Wrapf(code, err, ...).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lint.CodedErrorPackages(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// Quiet: detrange owns validation of bare Directive comments.
+	sup := lint.NewQuietSuppressor(pass)
+	lint.WalkFiles(pass, func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedSurface(fd) {
+				continue
+			}
+			checkFunc(pass, sup, fd)
+		}
+	})
+	return nil, nil
+}
+
+// exportedSurface reports whether fd is part of the public surface: an
+// exported top-level function, or an exported method on an exported type.
+func exportedSurface(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver
+			t = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkFunc walks fd's body for `return ...` statements whose results
+// include a direct call to errors.New or fmt.Errorf. Function literals
+// inside the body are walked too: an uncoded error produced by a handler
+// closure registered from an exported method escapes just the same.
+func checkFunc(pass *analysis.Pass, sup *lint.Suppressor, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name := nakedErrorCall(pass, call)
+			if name == "" || sup.Suppressed(call.Pos()) {
+				continue
+			}
+			pass.Reportf(call.Pos(), "%s escapes the exported %s surface uncoded; return exactsim.Errorf/Wrapf with an ErrorCode so the taxonomy survives transport", name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// nakedErrorCall returns "errors.New" / "fmt.Errorf" if call constructs an
+// uncoded error, else "".
+func nakedErrorCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "errors.New":
+		return "errors.New"
+	case "fmt.Errorf":
+		return "fmt.Errorf"
+	}
+	return ""
+}

@@ -1,0 +1,169 @@
+// Package lint hosts the project's custom vet suite: analyzers that turn
+// the determinism, error-taxonomy, and concurrency contracts of DESIGN.md
+// into compiler-grade checks (see DESIGN.md §11 "Static enforcement").
+//
+// The analyzers live in subpackages (detrange, rngsource, errcode, ctxpoll)
+// and are driven by cmd/exactsim-vet through the go vet -vettool protocol.
+// This package carries what they share: the kernel-package set the
+// determinism contract binds, and the escape-hatch directive that lets a
+// human override a finding with a recorded justification.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+// ModulePath is the import-path root of this repository.
+const ModulePath = "github.com/exactsim/exactsim"
+
+// kernelPackages are the packages whose outputs must be bit-deterministic:
+// every byte they compute feeds chunk-exact diagonal merging (DESIGN §7)
+// and replica-identical hedged serving (DESIGN §9). Code outside this set
+// may use maps, wall clocks, and stdlib randomness freely.
+var kernelPackages = map[string]bool{
+	ModulePath + "/internal/core":   true,
+	ModulePath + "/internal/diag":   true,
+	ModulePath + "/internal/linalg": true,
+	ModulePath + "/internal/sparse": true,
+	ModulePath + "/internal/walk":   true,
+	ModulePath + "/internal/rng":    true,
+	ModulePath + "/internal/ppr":    true,
+	ModulePath + "/internal/graph":  true,
+	ModulePath + "/internal/gen":    true,
+}
+
+// IsKernelPackage reports whether path is bound by the bit-determinism
+// contract. Test variants ("pkg_test", "pkg [pkg.test]") of a kernel
+// package count as kernel: the determinism analyzers skip _test.go files
+// individually instead.
+func IsKernelPackage(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i] // "pkg [pkg.test]" unit IDs
+	}
+	return kernelPackages[path]
+}
+
+// CodedErrorPackages are the packages forming the public serving surface:
+// every error their exported functions and methods return must carry an
+// ErrorCode from the transport taxonomy (a *exactsim.Error), because these
+// errors cross process boundaries where Go error identity is lost.
+func CodedErrorPackages(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	switch path {
+	case ModulePath, ModulePath + "/httpapi", ModulePath + "/cluster":
+		return true
+	}
+	return false
+}
+
+// Directive is the escape hatch: a comment of the form
+//
+//	//lint:nondeterministic-ok <justification>
+//
+// on the flagged line, or alone on the line above it, suppresses the
+// determinism analyzers for that line. The justification is mandatory —
+// a bare directive is itself reported — so every override records *why*
+// the nondeterminism cannot corrupt scored output.
+const Directive = "//lint:nondeterministic-ok"
+
+// BoundedDirective is ctxpoll's escape hatch: it asserts that a loop the
+// analyzer cannot prove finite does in fact terminate, and why:
+//
+//	//lint:bounded <termination argument>
+const BoundedDirective = "//lint:bounded"
+
+// IsTestFile reports whether pos lies in a _test.go file. The determinism
+// contract binds production kernel code; tests may use maps and clocks
+// freely (the bit-determinism oracle tests do, deliberately).
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Suppressor answers "is this position escaped?" for one package. Build it
+// once per pass; it also validates that every directive carries a
+// justification, reporting bare ones through the pass.
+type Suppressor struct {
+	fset *token.FileSet
+	// lines maps filename -> set of line numbers covered by a directive.
+	lines map[string]map[int]bool
+}
+
+// NewSuppressor scans every comment in the pass's files for Directive and
+// reports directives whose justification is missing. Exactly one analyzer
+// per directive should use the validating constructor (detrange for
+// Directive, ctxpoll for BoundedDirective) so a bare directive is reported
+// once; analyzers that merely share a directive use NewQuietSuppressor.
+func NewSuppressor(pass *analysis.Pass) *Suppressor {
+	return newSuppressor(pass, Directive, true)
+}
+
+// NewQuietSuppressor consults Directive without validating justifications.
+func NewQuietSuppressor(pass *analysis.Pass) *Suppressor {
+	return newSuppressor(pass, Directive, false)
+}
+
+// NewSuppressorFor is NewSuppressor for an arbitrary directive.
+func NewSuppressorFor(pass *analysis.Pass, directive string) *Suppressor {
+	return newSuppressor(pass, directive, true)
+}
+
+func newSuppressor(pass *analysis.Pass, directive string, validate bool) *Suppressor {
+	s := &Suppressor{fset: pass.Fset, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				just := strings.TrimSpace(strings.TrimPrefix(c.Text, directive))
+				// A "justification" that is itself a comment (as in
+				// `//lint:bounded // why is this ok?`) is no
+				// justification at all.
+				if i := strings.Index(just, "//"); i >= 0 {
+					just = strings.TrimSpace(just[:i])
+				}
+				if just == "" {
+					if validate {
+						pass.Reportf(c.Pos(), "%s directive needs a justification string after the directive word", directive)
+					}
+					continue
+				}
+				posn := s.fset.Position(c.Pos())
+				m := s.lines[posn.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					s.lines[posn.Filename] = m
+				}
+				// The directive covers its own line (trailing-comment
+				// form) and the next line (preceding-comment form).
+				m[posn.Line] = true
+				m[posn.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a finding at pos is covered by a directive.
+func (s *Suppressor) Suppressed(pos token.Pos) bool {
+	posn := s.fset.Position(pos)
+	return s.lines[posn.Filename][posn.Line]
+}
+
+// WalkFiles runs fn over every non-test file in the pass.
+func WalkFiles(pass *analysis.Pass, fn func(*ast.File)) {
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		fn(f)
+	}
+}

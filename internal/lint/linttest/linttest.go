@@ -1,0 +1,145 @@
+// Package linttest is a stdlib-only analog of x/tools' analysistest: it
+// runs one analyzer over a testdata package and checks its diagnostics
+// against `// want "regexp"` comments in the sources.
+//
+// Conventions:
+//   - Each test case is a directory of .go files (conventionally under
+//     internal/lint/testdata, which the go tool ignores).
+//   - The package is type-checked against the standard library via the
+//     source importer, so cases may import stdlib packages but nothing
+//     from this module.
+//   - The import path is supplied by the test, not derived from disk:
+//     the analyzers gate on package paths (kernel set, serving surface),
+//     so one directory can be replayed under different identities to
+//     prove a check stays silent outside its target packages.
+//   - A line expecting diagnostics carries one or more `// want "re"`
+//     clauses; every diagnostic must be matched by a clause on its line
+//     and every clause must be matched by a diagnostic, or the test
+//     fails with the full delta.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run analyzes the package in dir under the given import path and
+// compares diagnostics with the `// want` expectations in its sources.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	files, fset, pkg, info := load(t, dir, importPath)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				k := key{filepath.Base(posn.Filename), posn.Line}
+				for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, q[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		k := key{filepath.Base(posn.Filename), posn.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if !matched[re] && re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	var missed []string
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// load parses and type-checks every .go file in dir as one package named
+// by importPath, resolving imports (stdlib only) from source.
+func load(t *testing.T, dir, importPath string) ([]*ast.File, *token.FileSet, *types.Package, *types.Info) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no .go files in %s (%v)", dir, err)
+	}
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	return files, fset, pkg, info
+}

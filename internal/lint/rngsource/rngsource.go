@@ -1,0 +1,83 @@
+// Package rngsource bans ambient randomness and wall-clock reads in the
+// deterministic kernel packages.
+//
+// Every random bit consumed by the compute path must flow through
+// internal/rng's seeded xoshiro256++ streams: chunk-exact diagonal merging
+// (DESIGN §7) and cross-replica hedging (DESIGN §9) are sound only because
+// the same (seed, node, chunk) key always reproduces the same samples.
+// math/rand (any seeding), crypto/rand, and time.Now each smuggle
+// machine-local entropy into that path, so their mere presence in a kernel
+// package is an error — not just their use on a hot line.
+package rngsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"github.com/exactsim/exactsim/internal/lint"
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc: "forbid math/rand, crypto/rand, and time.Now in deterministic kernel packages\n\n" +
+		"Kernel packages (internal/core, diag, linalg, sparse, walk, rng, ppr, graph, gen)\n" +
+		"must draw randomness only from internal/rng's seeded generators and must not\n" +
+		"read the wall clock; both break bit-reproducibility of sampled results.",
+	Run: run,
+}
+
+// bannedImports maps a forbidden import path to why it is forbidden.
+var bannedImports = map[string]string{
+	"math/rand":    "unseedable global state; use internal/rng's seeded streams",
+	"math/rand/v2": "unseedable global state; use internal/rng's seeded streams",
+	"crypto/rand":  "machine entropy is unreproducible; use internal/rng's seeded streams",
+}
+
+// bannedCalls maps "pkgpath.Func" to the reason a call is forbidden.
+var bannedCalls = map[string]string{
+	"time.Now":   "wall-clock reads are machine-local",
+	"time.Since": "reads the wall clock via time.Now",
+	"time.Until": "reads the wall clock via time.Now",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lint.IsKernelPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// Quiet: detrange owns validation of bare Directive comments.
+	sup := lint.NewQuietSuppressor(pass)
+	lint.WalkFiles(pass, func(f *ast.File) {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok && !sup.Suppressed(imp.Pos()) {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic kernel package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			key := fn.Pkg().Path() + "." + fn.Name()
+			if why, ok := bannedCalls[key]; ok && !sup.Suppressed(call.Pos()) {
+				pass.Reportf(call.Pos(), "call to %s in deterministic kernel package: %s", key, why)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

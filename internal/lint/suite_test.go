@@ -1,0 +1,92 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/exactsim/exactsim/internal/lint"
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+	"github.com/exactsim/exactsim/internal/lint/ctxpoll"
+	"github.com/exactsim/exactsim/internal/lint/detrange"
+	"github.com/exactsim/exactsim/internal/lint/errcode"
+	"github.com/exactsim/exactsim/internal/lint/linttest"
+	"github.com/exactsim/exactsim/internal/lint/rngsource"
+)
+
+// kernelID replays a fixture directory as if it were a deterministic
+// kernel package; surfaceID as the cluster serving surface; outsideID as
+// a package none of the contracts bind.
+const (
+	kernelID  = lint.ModulePath + "/internal/core"
+	surfaceID = lint.ModulePath + "/cluster"
+	outsideID = lint.ModulePath + "/internal/harness"
+)
+
+// TestGolden drives every analyzer over its seeded-violation fixture:
+// each `// want` line must fire and every other line must stay silent,
+// covering the escape hatches and the false-positive regressions
+// (sorted-after-range, typed sorts, conditioned loops, unexported
+// helpers) in the same pass.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		dir      string
+		id       string
+	}{
+		{detrange.Analyzer, "testdata/detrange", kernelID},
+		{rngsource.Analyzer, "testdata/rngsource", kernelID},
+		{errcode.Analyzer, "testdata/errcode", surfaceID},
+		{ctxpoll.Analyzer, "testdata/ctxpoll", kernelID},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			linttest.Run(t, c.analyzer, c.dir, c.id)
+		})
+	}
+}
+
+// TestOutsideTargetsSilent replays a fixture seeded with violations of
+// all four analyzers under an import path none of them bind: the
+// contracts are scoped to package sets, and a check that fired here
+// would lint the whole repository into escape-hatch soup.
+func TestOutsideTargetsSilent(t *testing.T) {
+	for _, a := range []*analysis.Analyzer{
+		detrange.Analyzer, rngsource.Analyzer, errcode.Analyzer, ctxpoll.Analyzer,
+	} {
+		t.Run(a.Name, func(t *testing.T) {
+			linttest.Run(t, a, "testdata/nontarget", outsideID)
+		})
+	}
+}
+
+// TestKernelSetPins the package-set predicates: growing or shrinking
+// either set must be a conscious, reviewed act.
+func TestKernelSet(t *testing.T) {
+	for _, p := range []string{
+		"/internal/core", "/internal/diag", "/internal/linalg", "/internal/sparse",
+		"/internal/walk", "/internal/rng", "/internal/ppr", "/internal/graph", "/internal/gen",
+	} {
+		if !lint.IsKernelPackage(lint.ModulePath + p) {
+			t.Errorf("IsKernelPackage(%s) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"/internal/harness", "/cluster", "/httpapi", ""} {
+		if lint.IsKernelPackage(lint.ModulePath + p) {
+			t.Errorf("IsKernelPackage(%q) = true, want false", p)
+		}
+	}
+	// Test variants inherit their base package's obligations.
+	if !lint.IsKernelPackage(lint.ModulePath + "/internal/rng_test") {
+		t.Error("external test variant of a kernel package should count as kernel")
+	}
+	if !lint.IsKernelPackage(lint.ModulePath + "/internal/rng [" + lint.ModulePath + "/internal/rng.test]") {
+		t.Error("vet unit ID of a kernel package should count as kernel")
+	}
+	for _, p := range []string{"", "/httpapi", "/cluster"} {
+		if !lint.CodedErrorPackages(lint.ModulePath + p) {
+			t.Errorf("CodedErrorPackages(%q) = false, want true", p)
+		}
+	}
+	if lint.CodedErrorPackages(lint.ModulePath + "/internal/core") {
+		t.Error("kernel packages are not part of the coded-error surface")
+	}
+}

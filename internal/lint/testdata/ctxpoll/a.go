@@ -1,0 +1,75 @@
+// Golden fixtures for the ctxpoll analyzer under a kernel identity.
+package a
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Seeded violation: no condition, no cancellation reference, no
+// termination argument.
+func flagSpin(n *int) {
+	for { // want "unconditioned loop in kernel package"
+		*n++
+	}
+}
+
+// Near-miss: polls ctx.Err each pass (the PR 1 contract).
+func okCtx(ctx context.Context, n *int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		*n++
+	}
+}
+
+// Near-miss: a context flowing into a callee counts as a poll site.
+func okCtxCallee(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if !step(ctx) {
+			return
+		}
+	}
+}
+
+// Near-miss: a stop flag is the kernel's select-free cancellation idiom
+// (diag workers use exactly this shape).
+func okStopFlag(stop *atomic.Bool, n *int) {
+	for {
+		if stop.Load() {
+			return
+		}
+		*n++
+	}
+}
+
+// Near-miss: conditioned loops carry their progress contract in the
+// condition and are trusted (binary search, drain loops, ...).
+func okConditioned(lo, hi int) int {
+	for lo < hi {
+		lo = (lo+hi)/2 + 1
+	}
+	return lo
+}
+
+// Escape hatch: a termination argument is recorded and honored.
+func okBounded(n int) int {
+	steps := 0
+	//lint:bounded halves n each pass; reaches zero within 64 iterations
+	for {
+		if n == 0 {
+			return steps
+		}
+		n /= 2
+		steps++
+	}
+}
+
+// A bare directive is itself a finding and suppresses nothing.
+func flagBareDirective(n *int) {
+	//lint:bounded // want "needs a justification"
+	for { // want "unconditioned loop in kernel package"
+		*n++
+	}
+}

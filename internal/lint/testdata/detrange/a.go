@@ -1,0 +1,139 @@
+// Golden fixtures for the detrange analyzer, replayed under a kernel
+// package identity. Each `// want` clause is a diagnostic the analyzer
+// must produce on that line; lines without one must stay silent.
+package a
+
+import "sort"
+
+// Seeded violation: float accumulation observes map iteration order in
+// its low-order bits.
+func flagFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+// False-positive regression (ISSUE 8): collecting keys and sorting them
+// afterwards is the *fix* for nondeterministic iteration and must not
+// flag.
+func okSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Near-miss: filtered keys, still sorted after.
+func okFilteredSortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k, keep := range m {
+		if !keep {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Near-miss: map-to-map copy writes each key's distinct cell; order
+// cannot be observed.
+func okMapCopy(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Near-miss: integer accumulation is exact and commutative.
+func okIntCount(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Near-miss: key-less range just repeats the body len(m) times.
+func okBareRange(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Escape hatch with a justification is honored.
+func okEscaped(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { //lint:nondeterministic-ok fixture: result is compared with a tolerance, never bit-compared
+		sum += v
+	}
+	return sum
+}
+
+// A keys slice that is never sorted re-flags the range.
+func flagUnsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A bare directive is itself a finding: overrides must say why.
+func flagBareDirective(m map[int]float64) float64 {
+	var sum float64
+	//lint:nondeterministic-ok // want "needs a justification"
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+// Seeded violation: reflection-based, non-stable sort.
+func flagSortSlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "reflection-based and non-stable"
+}
+
+// Near-miss: a typed sort.Interface is the sanctioned replacement.
+type byVal []int
+
+func (b byVal) Len() int           { return len(b) }
+func (b byVal) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+func (b byVal) Less(i, j int) bool { return b[i] < b[j] }
+
+func okTypedSort(xs []int) { sort.Sort(byVal(xs)) }
+
+// Near-miss: SliceStable is reflective but order-stable; detrange only
+// bans the non-stable variant.
+func okSliceStable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Seeded violation: with both channels ready the runtime picks a case
+// pseudorandomly.
+func flagSelect(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// Near-miss: single comm case plus default is the standard non-blocking
+// poll; there is no race to resolve.
+func okPollSelect(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

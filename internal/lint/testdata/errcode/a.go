@@ -1,0 +1,63 @@
+// Golden fixtures for the errcode analyzer, replayed under the cluster
+// package identity (part of the coded-error serving surface).
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are construction, not escape: they are flagged
+// only where an exported signature returns them uncoded (a human-review
+// concern, not this analyzer's).
+var errSentinel = errors.New("a: sentinel")
+
+// Coded stands in for *exactsim.Error: any non-naked error value passes.
+type Coded struct{ Code string }
+
+func (e *Coded) Error() string { return e.Code }
+
+type Service struct{}
+
+// Seeded violation: naked errors.New returned from an exported method of
+// an exported type.
+func (s *Service) Query(n int) error {
+	if n < 0 {
+		return errors.New("a: negative source") // want "errors.New escapes the exported Query surface"
+	}
+	return nil
+}
+
+// Seeded violation: naked fmt.Errorf from an exported function.
+func Exported(n int) error {
+	return fmt.Errorf("a: bad n %d", n) // want "fmt.Errorf escapes the exported Exported surface"
+}
+
+// Near-miss: a coded error crosses the surface with its taxonomy intact.
+func ExportedCoded(n int) error {
+	if n < 0 {
+		return &Coded{Code: "invalid_argument"}
+	}
+	return nil
+}
+
+// Near-miss: returning a sentinel is identity-preserving, not naked
+// construction.
+func ExportedSentinel() error { return errSentinel }
+
+// Near-miss: unexported helpers may build plain errors; the exported
+// caller is responsible for coding them before they escape.
+func helper(n int) error { return fmt.Errorf("a: internal detail %d", n) }
+
+// Near-miss: methods on unexported types are not public surface.
+type hidden struct{}
+
+func (h *hidden) Method() error { return errors.New("a: x") }
+
+// Function literals inside an exported function are part of its surface:
+// handlers built here escape through the registration.
+func ExportedClosure() func() error {
+	return func() error {
+		return errors.New("a: closure leak") // want "errors.New escapes the exported ExportedClosure surface"
+	}
+}

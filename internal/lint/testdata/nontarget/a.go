@@ -1,0 +1,37 @@
+// One package seeded with a violation of every analyzer, replayed under
+// a non-kernel, non-surface import path: every analyzer must stay silent
+// here — the contracts bind specific package sets, not the whole module.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapRangeFloat(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sortSlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func clockAndRand() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}
+
+func Exported(n int) error {
+	return fmt.Errorf("a: naked but outside the surface %d", n)
+}
+
+func spin(n *int) {
+	for {
+		*n++
+	}
+}

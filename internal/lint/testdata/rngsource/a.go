@@ -1,0 +1,40 @@
+// Golden fixtures for the rngsource analyzer under a kernel identity.
+package a
+
+import (
+	crand "crypto/rand" // want "crypto/rand"
+	"math/rand"         // want "math/rand"
+	"time"
+)
+
+// Imports above are each one finding; uses below are not re-flagged
+// (the import is the contraband, wherever it is consumed).
+func useRand() int {
+	return rand.Intn(3)
+}
+
+func useCrypto() byte {
+	var b [1]byte
+	crand.Read(b[:])
+	return b[0]
+}
+
+// Seeded violations: wall-clock reads.
+func flagNow() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func flagSince(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+// Escape hatch with a justification is honored.
+func okEscapedNow() time.Time {
+	return time.Now() //lint:nondeterministic-ok fixture: telemetry timestamp, never feeds scored output
+}
+
+// Near-miss: the time package itself is fine — constants and Duration
+// arithmetic are deterministic; only the clock reads are banned.
+func okDuration(d time.Duration) time.Duration {
+	return d + 5*time.Second
+}

@@ -1,0 +1,319 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// repository's analyzers, on the standard library alone.
+//
+// The go command drives a vet tool one compilation unit at a time:
+//
+//  1. `tool -V=full` — must print "<name> version <v> ... buildID=<id>";
+//     the go command hashes the line into its action cache key.
+//  2. `tool -flags` — must print a JSON description of the tool's flags so
+//     the go command can validate pass-through arguments.
+//  3. `tool [flags] <unit>.cfg` — analyze one package. The .cfg file is a
+//     JSON Config carrying the unit's file list and the export-data paths
+//     of everything it imports; findings go to stderr as file:line:col
+//     lines and a nonzero exit marks the unit failed.
+//
+// This mirrors golang.org/x/tools/go/analysis/unitchecker closely enough
+// that `go vet -vettool=$(pwd)/exactsim-vet ./...` behaves exactly like a
+// stock vet tool: per-package caching, -json, and flag validation all work.
+// The hermetic build environment (no module proxy) is why the upstream
+// package is re-implemented rather than imported.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+// Config is the JSON unit description the go command writes for each
+// package it vets. Field names must match cmd/go's encoding exactly;
+// unknown fields are ignored so the schema can grow with the toolchain.
+type Config struct {
+	ID           string // e.g. "fmt [fmt.test]"
+	Compiler     string // gc
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string // import path as written -> canonical path
+	PackageFile  map[string]string // canonical path -> export data file
+	Standard     map[string]bool
+	PackageVetx  map[string]string // canonical path -> facts file from deps
+	VetxOnly     bool              // facts-only pass over a dependency
+	VetxOutput   string            // where to write this unit's facts
+
+	SucceedOnTypecheckFailure bool
+}
+
+type jsonFlag struct {
+	Name  string `json:"Name"`
+	Bool  bool   `json:"Bool"`
+	Usage string `json:"Usage"`
+}
+
+// jsonDiagnostic mirrors the -json output schema of upstream vet.
+type jsonDiagnostic struct {
+	Category string `json:"category,omitempty"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// Main is the entry point for a vet tool: it interprets the protocol flags
+// and either answers a metadata query or analyzes the unit .cfg named by
+// the single positional argument. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		versionQuery string
+		flagsQuery   bool
+		jsonOut      bool
+	)
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.StringVar(&versionQuery, "V", "", "print version and exit (go command protocol)")
+	fs.BoolVar(&flagsQuery, "flags", false, "print flags in JSON and exit (go command protocol)")
+	fs.BoolVar(&jsonOut, "json", false, "emit JSON diagnostics")
+	// Per-analyzer enable flags, as upstream: -detrange=false disables one
+	// analyzer. Default all-on.
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable "+a.Name+" analysis: "+doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <unit>.cfg\n", progname)
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	if versionQuery != "" {
+		if versionQuery != "full" {
+			log.Fatalf("unsupported flag value: -V=%s", versionQuery)
+		}
+		// The go command hashes this line into its cache key, so it must
+		// change whenever the tool binary does: hash the executable.
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+		os.Exit(0)
+	}
+
+	if flagsQuery {
+		var out []jsonFlag
+		fs.VisitAll(func(f *flag.Flag) {
+			if f.Name == "V" || f.Name == "flags" {
+				return
+			}
+			_, isBool := f.Value.(interface{ IsBoolFlag() bool })
+			out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+		})
+		data, err := json.Marshal(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	var run []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	diags, err := analyzeUnit(args[0], run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 {
+		if jsonOut {
+			printJSON(os.Stdout, diags)
+		} else {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.msg)
+			}
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+type unitDiag struct {
+	analyzer string
+	category string
+	posn     string
+	msg      string
+}
+
+func printJSON(w io.Writer, diags []unitDiag) {
+	// Upstream shape: {"<pkg>": {"<analyzer>": [diag...]}} — but the
+	// package ID is not part of unitDiag; group by analyzer only, which
+	// is what downstream tooling keys on.
+	byAnalyzer := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.analyzer] = append(byAnalyzer[d.analyzer], jsonDiagnostic{
+			Category: d.category, Posn: d.posn, Message: d.msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(byAnalyzer)
+}
+
+// analyzeUnit loads one vet unit config, type-checks the package from the
+// export data the go command prepared, and runs the analyzers over it.
+func analyzeUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]unitDiag, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The go command expects the facts file to exist after every
+	// invocation, including facts-only dependency passes. None of the
+	// repository's analyzers exports facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a canonical package path; the go command wrote the
+		// export data of every dependency into PackageFile.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", buildArch()),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	var diags []unitDiag
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, unitDiag{
+					analyzer: a.Name,
+					category: d.Category,
+					posn:     fset.Position(d.Pos).String(),
+					msg:      d.Message + " (" + a.Name + ")",
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].posn < diags[j].posn })
+	return diags, nil
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

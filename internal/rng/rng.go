@@ -190,6 +190,7 @@ func (gs *GeometricSampler) Sample(r *RNG) int {
 		return 0
 	}
 	total := 0
+	//lint:bounded memoryless restart fires only when u falls past the table cap; expected passes per sample ~ 1
 	for {
 		u := r.Uint64()
 		k := 0
@@ -208,6 +209,7 @@ func (gs *GeometricSampler) Sample(r *RNG) int {
 // NormFloat64 returns a standard normal variate (Marsaglia polar method).
 // Used only by generators, not by any algorithmic hot path.
 func (r *RNG) NormFloat64() float64 {
+	//lint:bounded polar rejection accepts with probability pi/4 per iteration; terminates with probability 1
 	for {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1

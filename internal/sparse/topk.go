@@ -47,6 +47,7 @@ func (h *topkHeap) push(e Entry) {
 func (h topkHeap) replaceRoot(e Entry) {
 	h[0] = e
 	i := 0
+	//lint:bounded sift-down: i strictly descends a finite heap
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

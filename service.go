@@ -240,6 +240,13 @@ type graphState struct {
 // Queriers are cached per (epoch, algorithm, ε) and shared across workers —
 // the underlying engines are immutable after construction, so concurrent
 // queries are safe (verified by the race-detector tests).
+//
+// Synchronization discipline (one per field group, audited in PR 8):
+// monotonic stats counters are atomics read lock-free by Stats; each
+// mutable map or flag lives under exactly one named mutex (updateMu,
+// closeMu, querierMu, flightMu) and is never also touched atomically;
+// state is an atomic pointer swapped only under updateMu. Keep new
+// fields in one of these groups rather than inventing a mixed idiom.
 type Service struct {
 	opts ServiceOptions
 
@@ -349,11 +356,11 @@ func NewService(g *Graph, opts ServiceOptions) (*Service, error) {
 // warmth survives the process boundary.
 func newService(g *Graph, opts ServiceOptions, restoredIdx *DiagSampleIndex) (*Service, error) {
 	if g == nil {
-		return nil, errors.New("exactsim: nil graph")
+		return nil, Errorf(CodeInvalidArgument, "exactsim: nil graph")
 	}
 	opts.normalize()
 	if !KnownAlgorithm(opts.DefaultAlgorithm) {
-		return nil, fmt.Errorf("exactsim: unknown default algorithm %q (have %v)",
+		return nil, Errorf(CodeNotFound, "exactsim: unknown default algorithm %q (have %v)",
 			opts.DefaultAlgorithm, Algorithms())
 	}
 	buildCtx, cancelBuild := context.WithCancel(context.Background())
@@ -396,7 +403,7 @@ func (s *Service) newState(g *Graph, epoch uint64) *graphState {
 // Publish from one goroutine.
 func ServeDynamic(d *DynamicGraph, opts ServiceOptions) (*Service, error) {
 	if d == nil {
-		return nil, errors.New("exactsim: nil dynamic graph")
+		return nil, Errorf(CodeInvalidArgument, "exactsim: nil dynamic graph")
 	}
 	s, err := NewService(d.Snapshot(), opts)
 	if err != nil {

@@ -91,20 +91,44 @@ func (c *httpapiClientConfig) clientOptions() []httpapi.ClientOption {
 }
 
 // saturated reports whether the backend's last-polled gauges are over
-// the shed thresholds. A backend that has never answered a poll is not
-// saturated — health gating covers it.
-func (b *backend) saturated(o *Options) bool {
+// the shed thresholds for a request of the given class rank. Thresholds
+// scale down with rank — interactive (0) sheds at the full bound, batch
+// (1) at 3/4, background (2) at 1/2 — so optional traffic stops being
+// routed to a filling replica while user-facing queries still fit. A
+// backend that has never answered a poll is not saturated — health
+// gating covers it.
+func (b *backend) saturated(o *Options, rank int) bool {
 	st := b.stats.Load()
 	if st == nil {
 		return false
 	}
-	if o.ShedQueueDepth > 0 && st.QueueDepth >= o.ShedQueueDepth {
+	if lim := classLimit(o.ShedQueueDepth, rank); lim > 0 && st.QueueDepth >= lim {
 		return true
 	}
-	if o.ShedInFlight > 0 && st.InFlight >= o.ShedInFlight {
+	if lim := classLimit(o.ShedInFlight, rank); lim > 0 && st.InFlight >= lim {
 		return true
 	}
 	return false
+}
+
+// classLimit scales a shed threshold by class rank: 4/4, 3/4, 2/4 of
+// the configured bound (floored at 1 so a tiny bound still admits
+// something). Non-positive bounds stay disabled.
+func classLimit(bound, rank int) int {
+	if bound <= 0 {
+		return bound
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > 2 {
+		rank = 2
+	}
+	lim := bound * (4 - rank) / 4
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
 }
 
 // epoch returns the backend's last-polled graph epoch (0 before the

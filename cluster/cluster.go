@@ -63,6 +63,21 @@ type Options struct {
 	HedgeMaxDelay time.Duration
 	// DisableHedging turns hedged requests off (retries still happen).
 	DisableHedging bool
+	// HedgeBudgetRatio is the hedge token bucket's earn rate: each
+	// successful un-hedged query earns this many tokens, each hedge
+	// launch spends one, so at steady state hedges are capped near this
+	// fraction of traffic (a saturated fleet stops earning and stops
+	// hedging instead of doubling its own load). 0 derives the default
+	// from the hedge policy itself: 2×(1−HedgeQuantile), i.e. twice the
+	// hedge rate the quantile asks for — 0.1 at the default 0.95
+	// quantile — so the budget throttles overload amplification without
+	// starving the straggler rescue the operator configured. Negative
+	// disables the budget (hedges bounded only by the timer and
+	// MaxAttempts).
+	HedgeBudgetRatio float64
+	// HedgeBudgetBurst is the bucket capacity and starting balance.
+	// 0 selects 16.
+	HedgeBudgetBurst int
 
 	// MaxAttempts bounds how many distinct replicas one query may touch
 	// (first try + retries + the hedge). 0 selects 3; the fleet size is
@@ -139,6 +154,19 @@ func (o *Options) normalize() {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
+	}
+	if o.HedgeBudgetRatio == 0 {
+		// Twice the hedge rate HedgeQuantile implies (quantile already
+		// normalized above), so the budget binds under overload, not
+		// during the straggler rescues the quantile was tuned to catch.
+		o.HedgeBudgetRatio = 2 * (1 - o.HedgeQuantile)
+	}
+	if o.HedgeBudgetBurst <= 0 {
+		o.HedgeBudgetBurst = 16
+	}
+	if o.HedgeBudgetRatio < 0 {
+		// Disabled: a non-positive burst makes spend() always allow.
+		o.HedgeBudgetRatio, o.HedgeBudgetBurst = 0, 0
 	}
 	if o.ShedQueueDepth == 0 {
 		o.ShedQueueDepth = 128

@@ -1,0 +1,256 @@
+package cluster_test
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/cluster"
+	"github.com/exactsim/exactsim/internal/algo"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// The overload benchmark needs a fixed, deterministic cost model, so it
+// ships its own pair of registry algorithms instead of timing real
+// SimRank solvers (whose cost varies with the host): bench-exact models
+// the expensive exact plan, bench-cheap the brownout fallback one ladder
+// step down. Both honor context cancellation mid-"compute" and return a
+// closed-form deterministic score vector, which is what lets the client
+// side verify bit-determinism of non-degraded answers without a
+// reference replica.
+const (
+	benchExactName = "bench-exact"
+	benchCheapName = "bench-cheap"
+
+	benchExactCost = 8 * time.Millisecond
+	benchCheapCost = time.Millisecond
+)
+
+var (
+	registerOverloadAlgos sync.Once
+	// benchExpiredExec counts executions that began with their deadline
+	// already spent — the acceptance metric that must stay at zero. The
+	// 2ms grace keeps a deadline that lands in the microseconds between
+	// the worker's queued-expiry check and the algorithm's first
+	// instruction from registering as a propagation failure.
+	benchExpiredExec atomic.Int64
+)
+
+type overloadBenchQuerier struct {
+	g     *graph.Graph
+	name  string
+	cost  time.Duration
+	scale float64
+}
+
+func (q *overloadBenchQuerier) Name() string        { return q.name }
+func (q *overloadBenchQuerier) Graph() *graph.Graph { return q.g }
+
+func (q *overloadBenchQuerier) SingleSource(ctx context.Context, source graph.NodeID) (*algo.Result, error) {
+	if dl, ok := ctx.Deadline(); ok && time.Since(dl) > 2*time.Millisecond {
+		benchExpiredExec.Add(1)
+	}
+	t := time.NewTimer(q.cost)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &algo.Result{Algorithm: q.name, Scores: overloadBenchScores(q.g.N(), source, q.scale)}, nil
+}
+
+func (q *overloadBenchQuerier) TopK(ctx context.Context, source graph.NodeID, k int) ([]sparse.Entry, *algo.Result, error) {
+	res, err := q.SingleSource(ctx, source)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sparse.TopK(res.Scores, k, source), res, nil
+}
+
+// overloadBenchScores is the closed-form answer both the server-side
+// bench algorithms and the client-side determinism check compute.
+func overloadBenchScores(n int, source graph.NodeID, scale float64) []float64 {
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = scale / float64(1+abs(int(source)-i))
+	}
+	scores[source] = 1
+	return scores
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func registerOverloadBenchAlgorithms() {
+	registerOverloadAlgos.Do(func() {
+		algo.Register(benchExactName, func(ctx context.Context, g *graph.Graph, cfg algo.Config) (algo.Querier, error) {
+			return &overloadBenchQuerier{g: g, name: benchExactName, cost: benchExactCost, scale: 0.5}, nil
+		})
+		algo.Register(benchCheapName, func(ctx context.Context, g *graph.Graph, cfg algo.Config) (algo.Querier, error) {
+			return &overloadBenchQuerier{g: g, name: benchCheapName, cost: benchCheapCost, scale: 0.25}, nil
+		})
+	})
+}
+
+// BenchmarkOverloadGoodput drives a 2-replica loopback fleet at roughly
+// 2× its sustained service capacity — 8 closed-loop clients recycling
+// every ≤30ms against 2 workers of 8ms service time (≈266 offered vs
+// 250 served qps, with 4× the fleet's worker slots queued) — with a
+// 30ms deadline on every query, and compares shed-only operation
+// against brownout. The acceptance criteria of the
+// overload-control PR read directly off the extra metrics:
+//
+//   - expired-exec must be 0 in both arms: deadline propagation means no
+//     tier ever executes a query whose budget is already spent;
+//   - goodput-qps (in-deadline answers per second) must be strictly
+//     higher with brownout on — opted-in queries answered by the cheap
+//     ladder step beat queries shed outright;
+//   - every non-degraded answer is verified bit-identical to the
+//     closed-form expected scores (the brownout determinism carve-out).
+func BenchmarkOverloadGoodput(b *testing.B) {
+	registerOverloadBenchAlgorithms()
+	const (
+		clients  = 8
+		deadline = 30 * time.Millisecond
+	)
+	for _, mode := range []string{"mode=shed-only", "mode=brownout"} {
+		brownout := mode == "mode=brownout"
+		b.Run(mode, func(b *testing.B) {
+			g := exactsim.GenerateBarabasiAlbert(200, 3, 1)
+			members, urls := startFleet(b, g, 2, exactsim.ServiceOptions{
+				Workers:          1,
+				QueueDepth:       16,
+				DefaultAlgorithm: benchExactName,
+				DegradeLadder:    map[string]string{benchExactName: benchCheapName},
+				DisableBrownout:  !brownout,
+			})
+			opts := manualPollOptions()
+			opts.DisableHedging = true
+			r, err := cluster.New(urls, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(r.Close)
+
+			// Build both queriers on every member outside the timed region,
+			// so the measured path never pays a querier construction.
+			ctx := context.Background()
+			for _, m := range members {
+				for _, alg := range []string{benchExactName, benchCheapName} {
+					if resp := m.svc.Query(ctx, exactsim.Request{Algorithm: alg, NoCache: true}); resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+			}
+
+			benchExpiredExec.Store(0)
+			var good, degraded, shedOrDropped, deadlineMiss atomic.Int64
+			var latMu sync.Mutex
+			lat := make([]time.Duration, 0, b.N)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						src := exactsim.NodeID((i * 13) % 200)
+						qctx, cancel := context.WithTimeout(ctx, deadline)
+						start := time.Now()
+						resp := r.Query(qctx, exactsim.Request{
+							Source:        src,
+							NoCache:       true,
+							AllowDegraded: brownout,
+						})
+						el := time.Since(start)
+						cancel()
+						switch {
+						case resp.Err == nil:
+							good.Add(1)
+							if resp.Degraded {
+								degraded.Add(1)
+							} else if i%8 == 0 {
+								verifyExactAnswer(b, g.N(), src, resp)
+							}
+							latMu.Lock()
+							lat = append(lat, el)
+							latMu.Unlock()
+						case resp.Err.Code == exactsim.CodeUnavailable:
+							shedOrDropped.Add(1)
+						case resp.Err.Code == exactsim.CodeDeadlineExceeded:
+							deadlineMiss.Add(1)
+						default:
+							b.Errorf("query %d: unexpected error %v", i, resp.Err)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+
+			if n := benchExpiredExec.Load(); n > 0 {
+				b.Errorf("%d queries began executing with their deadline already spent; deadline propagation must reject them at admission", n)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(good.Load())/sec, "goodput-qps")
+			}
+			b.ReportMetric(float64(degraded.Load()), "degraded")
+			b.ReportMetric(float64(shedOrDropped.Load()), "shed")
+			b.ReportMetric(float64(deadlineMiss.Load()), "deadline-miss")
+			b.ReportMetric(float64(benchExpiredExec.Load()), "expired-exec")
+			// Server-side view: the router's retries can rescue a shed or
+			// CoDel-dropped attempt on the other replica, so the fleet's
+			// own drop counters show the overload machinery engaging even
+			// when the client-visible shed count stays low.
+			var fleetCoDel, fleetRejected int64
+			for _, m := range members {
+				st := m.svc.Stats()
+				fleetCoDel += st.ShedQueries + st.CoDelDrops
+				fleetRejected += st.DeadlineRejected
+			}
+			b.ReportMetric(float64(fleetCoDel), "fleet-drops")
+			b.ReportMetric(float64(fleetRejected), "fleet-deadline-rejected")
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			if len(lat) > 0 {
+				b.ReportMetric(float64(lat[int(0.99*float64(len(lat)-1))].Nanoseconds()), "p99-ns/op")
+			}
+		})
+	}
+}
+
+// verifyExactAnswer checks one non-degraded response bit-for-bit against
+// the closed form bench-exact computes: under any overload, an answer
+// that does not carry Degraded must be the exact answer.
+func verifyExactAnswer(b *testing.B, n int, src exactsim.NodeID, resp exactsim.Response) {
+	if resp.Request.Algorithm != benchExactName {
+		b.Errorf("source %d: non-degraded answer computed by %q, want %q", src, resp.Request.Algorithm, benchExactName)
+		return
+	}
+	if resp.Result == nil || len(resp.Result.Scores) != n {
+		b.Errorf("source %d: non-degraded answer missing its %d-node score vector", src, n)
+		return
+	}
+	want := overloadBenchScores(n, graph.NodeID(src), 0.5)
+	for i, s := range resp.Result.Scores {
+		if math.Float64bits(s) != math.Float64bits(want[i]) {
+			b.Errorf("source %d: non-degraded scores[%d] = %x, want %x (bit-determinism broken)", src, i, s, want[i])
+			return
+		}
+	}
+}

@@ -33,17 +33,23 @@ type Router struct {
 
 	tracker *latencyTracker
 
+	// hedgeBudget bounds hedge launches to ~HedgeBudgetRatio of
+	// successful traffic so hedging cannot amplify a fleet-wide overload
+	// (see hedge.go).
+	hedgeBudget *hedgeBudget
+
 	clientCfg httpapiClientConfig
 
 	// Router-level counters (fleet stats).
-	queries      atomic.Int64
-	errors       atomic.Int64
-	retries      atomic.Int64
-	hedged       atomic.Int64
-	hedgeWins    atomic.Int64
-	shed         atomic.Int64
-	breakerSkips atomic.Int64
-	failOpen     atomic.Int64
+	queries         atomic.Int64
+	errors          atomic.Int64
+	retries         atomic.Int64
+	hedged          atomic.Int64
+	hedgeWins       atomic.Int64
+	hedgeSuppressed atomic.Int64
+	shed            atomic.Int64
+	breakerSkips    atomic.Int64
+	failOpen        atomic.Int64
 }
 
 // New builds a router over the given backend base URLs and runs one
@@ -56,9 +62,10 @@ func New(backendURLs []string, opts Options) (*Router, error) {
 	}
 	opts.normalize()
 	r := &Router{
-		opts:      opts,
-		tracker:   newLatencyTracker(),
-		clientCfg: httpapiClientConfig{hc: opts.HTTPClient, retries: opts.ClientRetries},
+		opts:        opts,
+		tracker:     newLatencyTracker(),
+		hedgeBudget: newHedgeBudget(opts.HedgeBudgetRatio, opts.HedgeBudgetBurst),
+		clientCfg:   httpapiClientConfig{hc: opts.HTTPClient, retries: opts.ClientRetries},
 	}
 	seen := make(map[string]bool, len(backendURLs))
 	for _, u := range backendURLs {
@@ -153,13 +160,30 @@ var errFleetSaturated = errors.New("cluster: fleet saturated")
 // for operators.
 var errBreakersOpen = errors.New("cluster: all replica circuit breakers open")
 
+// priorityRank maps a request's overload class onto the queue rank the
+// shed thresholds scale by (0 = interactive). Unknown classes rank as
+// interactive here — the backend rejects them as invalid_argument, and
+// mis-shedding a doomed request would hide that error.
+func priorityRank(p exactsim.Priority) int {
+	switch p {
+	case exactsim.PriorityBatch:
+		return 1
+	case exactsim.PriorityBackground:
+		return 2
+	}
+	return 0
+}
+
 // pick returns this query's replica preference order: ring candidates
 // for the source, healthy only, saturated replicas shed, and the list
 // stably partitioned so under-bounded-load replicas come first. The
 // primary (first element) is therefore the source's ring owner unless
 // that owner is currently over its load bound, in which case the next
-// arc takes this query — bounded-load rebalancing.
-func (r *Router) pick(source exactsim.NodeID) ([]*backend, error) {
+// arc takes this query — bounded-load rebalancing. Saturation is
+// class-aware via rank: lower classes see tighter shed thresholds, so
+// background traffic stops reaching a filling replica before batch
+// does, and batch before interactive.
+func (r *Router) pick(source exactsim.NodeID, rank int) ([]*backend, error) {
 	r.mu.RLock()
 	backends := r.backends
 	ring := r.ring
@@ -186,7 +210,7 @@ func (r *Router) pick(source exactsim.NodeID) ([]*backend, error) {
 			r.breakerSkips.Add(1)
 			continue
 		}
-		if b.saturated(&r.opts) {
+		if b.saturated(&r.opts, rank) {
 			continue
 		}
 		eligible = append(eligible, b)
@@ -251,18 +275,35 @@ func (r *Router) Query(ctx context.Context, req exactsim.Request) exactsim.Respo
 }
 
 func (r *Router) route(ctx context.Context, req exactsim.Request) exactsim.Response {
-	cands, err := r.pick(req.Source)
+	// Expired on arrival: a query whose deadline is already gone must
+	// not spend a candidate walk, let alone wire attempts.
+	if err := ctx.Err(); err != nil {
+		return exactsim.Response{Request: req, Err: exactsim.ToError(err)}
+	}
+	cands, err := r.pick(req.Source, priorityRank(req.Priority))
 	if err != nil {
-		if errors.Is(err, errFleetSaturated) {
-			r.shed.Add(1)
-		}
-		return exactsim.Response{Request: req,
-			Err: exactsim.Errorf(exactsim.CodeUnavailable, "%s", err.Error())}
+		return exactsim.Response{Request: req, Err: r.pickError(err)}
 	}
 	if len(cands) > r.opts.MaxAttempts {
 		cands = cands[:r.opts.MaxAttempts]
 	}
 	return r.race(ctx, cands, req)
+}
+
+// pickError converts a pick failure into the wire unavailable, counting
+// sheds and stamping the retry_after_ms hint: a saturated fleet's state
+// is refreshed by the next poll, an open breaker by its cooldown —
+// retrying sooner than either can only find the same answer.
+func (r *Router) pickError(err error) *exactsim.Error {
+	e := exactsim.Errorf(exactsim.CodeUnavailable, "%s", err.Error())
+	switch {
+	case errors.Is(err, errFleetSaturated):
+		r.shed.Add(1)
+		e.WithRetryAfter(r.opts.PollInterval)
+	case errors.Is(err, errBreakersOpen):
+		e.WithRetryAfter(r.opts.BreakerCooldown)
+	}
+	return e
 }
 
 // tryResult is one replica attempt's outcome.
@@ -317,6 +358,14 @@ func (r *Router) race(ctx context.Context, cands []*backend, req exactsim.Reques
 			return exactsim.Response{Request: req, Err: exactsim.ToError(ctx.Err())}
 		case <-hedgeC:
 			hedgeC = nil
+			// The timer only says this attempt is a straggler; the budget
+			// says whether the fleet can afford a speculative double-send.
+			// When recent traffic has not banked enough successes, the
+			// hedge is suppressed and the primary rides out alone.
+			if !r.hedgeBudget.spend() {
+				r.hedgeSuppressed.Add(1)
+				continue
+			}
 			if launch(true) {
 				r.hedged.Add(1)
 			}
@@ -327,6 +376,8 @@ func (r *Router) race(ctx context.Context, cands []*backend, req exactsim.Reques
 					r.tracker.record(res.latency)
 					if res.hedge {
 						r.hedgeWins.Add(1)
+					} else {
+						r.hedgeBudget.earn()
 					}
 				}
 				return res.resp
@@ -431,15 +482,11 @@ func (r *Router) Batch(ctx context.Context, reqs []exactsim.Request) []exactsim.
 	out := make([]exactsim.Response, len(reqs))
 	groups := make(map[*backend][]int)
 	for i, req := range reqs {
-		cands, err := r.pick(req.Source)
+		cands, err := r.pick(req.Source, priorityRank(req.Priority))
 		if err != nil {
-			if errors.Is(err, errFleetSaturated) {
-				r.shed.Add(1)
-			}
 			r.queries.Add(1)
 			r.errors.Add(1)
-			out[i] = exactsim.Response{Request: req,
-				Err: exactsim.Errorf(exactsim.CodeUnavailable, "%s", err.Error())}
+			out[i] = exactsim.Response{Request: req, Err: r.pickError(err)}
 			continue
 		}
 		groups[cands[0]] = append(groups[cands[0]], i)

@@ -98,8 +98,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), qr.TimeoutMillis)
 	defer cancel()
+	// Expired on arrival: answer before burning a candidate walk or a
+	// wire attempt (same contract as httpapi.Server and the Service).
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Request: qr.Request, Err: e})
+		return
+	}
 	resp := s.router.Query(ctx, qr.Request)
 	writeJSON(w, httpapi.StatusOf(resp.Err), resp)
+}
+
+// expiredOnArrival reports a context already dead at tier entry as the
+// protocol error to answer with (nil while budget remains).
+func expiredOnArrival(ctx context.Context) *exactsim.Error {
+	if err := ctx.Err(); err != nil {
+		return exactsim.ToError(err)
+	}
+	return nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +131,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), br.TimeoutMillis)
 	defer cancel()
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
 	writeJSON(w, http.StatusOK, httpapi.BatchResponse{Responses: s.router.Batch(ctx, br.Requests)})
 }
 
@@ -127,6 +146,10 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), wr.TimeoutMillis)
 	defer cancel()
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, httpapi.StatusOf(e), exactsim.WarmResponse{Err: e})
+		return
+	}
 	resp := s.router.Warm(ctx, wr.WarmRequest)
 	writeJSON(w, httpapi.StatusOf(resp.Err), resp)
 }

@@ -34,7 +34,11 @@ type FleetStats struct {
 	Retries   int64 `json:"retries"`
 	Hedged    int64 `json:"hedged"`
 	HedgeWins int64 `json:"hedge_wins"`
-	Shed      int64 `json:"shed"`
+	// HedgeSuppressed counts hedge timers that fired but found the hedge
+	// token budget empty — speculative double-sends the router declined
+	// because recent traffic had not banked enough successes.
+	HedgeSuppressed int64 `json:"hedge_suppressed"`
+	Shed            int64 `json:"shed"`
 	// BreakerSkips counts attempts answered instantly from an open
 	// circuit breaker instead of touching the wire; BreakerTrips sums
 	// closed→open transitions across backends.
@@ -77,15 +81,16 @@ type BackendStats struct {
 func (r *Router) Stats() FleetStats {
 	backends := r.snapshot()
 	out := FleetStats{
-		RouterQueries: r.queries.Load(),
-		RouterErrors:  r.errors.Load(),
-		Retries:       r.retries.Load(),
-		Hedged:        r.hedged.Load(),
-		HedgeWins:     r.hedgeWins.Load(),
-		Shed:          r.shed.Load(),
-		BreakerSkips:  r.breakerSkips.Load(),
-		FailOpenPicks: r.failOpen.Load(),
-		Backends:      make([]BackendStats, 0, len(backends)),
+		RouterQueries:   r.queries.Load(),
+		RouterErrors:    r.errors.Load(),
+		Retries:         r.retries.Load(),
+		Hedged:          r.hedged.Load(),
+		HedgeWins:       r.hedgeWins.Load(),
+		HedgeSuppressed: r.hedgeSuppressed.Load(),
+		Shed:            r.shed.Load(),
+		BreakerSkips:    r.breakerSkips.Load(),
+		FailOpenPicks:   r.failOpen.Load(),
+		Backends:        make([]BackendStats, 0, len(backends)),
 	}
 	now := time.Now()
 	if d, ok := r.hedgeDelay(); ok {
@@ -124,6 +129,17 @@ func (r *Router) Stats() FleetStats {
 			agg.DiagExplores += st.DiagExplores
 			agg.DiagResidentBytes += st.DiagResidentBytes
 			agg.DiagBudgetBytes += st.DiagBudgetBytes
+			// Overload counters sum across replicas; BrownoutActive ORs
+			// (any replica degrading is fleet news) and the sojourn gauge
+			// takes the worst replica — the one retry hints come from.
+			agg.ShedQueries += st.ShedQueries
+			agg.CoDelDrops += st.CoDelDrops
+			agg.DeadlineRejected += st.DeadlineRejected
+			agg.DegradedQueries += st.DegradedQueries
+			agg.BrownoutActive = agg.BrownoutActive || st.BrownoutActive
+			if st.QueueSojournMicros > agg.QueueSojournMicros {
+				agg.QueueSojournMicros = st.QueueSojournMicros
+			}
 			agg.PanicsRecovered += st.PanicsRecovered
 			if agg.LastPanic == "" {
 				agg.LastPanic = st.LastPanic

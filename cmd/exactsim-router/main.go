@@ -54,6 +54,9 @@ func main() {
 		noHedge  = flag.Bool("no-hedge", false, "disable hedged requests")
 		attempts = flag.Int("max-attempts", 3, "distinct replicas one query may touch (retries + hedge)")
 
+		hedgeBudget      = flag.Float64("hedge-budget", 0, "hedge token bucket earn rate per un-hedged success (0 = 2×(1−hedge-quantile) default, negative disables the budget)")
+		hedgeBudgetBurst = flag.Int("hedge-budget-burst", 0, "hedge token bucket capacity and starting balance (0 = 16)")
+
 		shedQueue    = flag.Int("shed-queue", 128, "skip a replica whose queue-depth gauge is at/above this (negative disables)")
 		shedInflight = flag.Int("shed-inflight", 0, "skip a replica whose in-flight gauge is at/above this (0 disables)")
 
@@ -106,6 +109,8 @@ func main() {
 		HedgeMinDelay:     *hedgeMin,
 		HedgeMaxDelay:     *hedgeMax,
 		DisableHedging:    *noHedge,
+		HedgeBudgetRatio:  *hedgeBudget,
+		HedgeBudgetBurst:  *hedgeBudgetBurst,
 		MaxAttempts:       *attempts,
 		ShedQueueDepth:    *shedQueue,
 		ShedInFlight:      *shedInflight,

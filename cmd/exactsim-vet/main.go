@@ -23,6 +23,7 @@ import (
 	"github.com/exactsim/exactsim/internal/lint/detrange"
 	"github.com/exactsim/exactsim/internal/lint/errcode"
 	"github.com/exactsim/exactsim/internal/lint/rngsource"
+	"github.com/exactsim/exactsim/internal/lint/shedpath"
 	"github.com/exactsim/exactsim/internal/lint/unitchecker"
 )
 
@@ -55,6 +56,7 @@ func main() {
 		rngsource.Analyzer,
 		errcode.Analyzer,
 		ctxpoll.Analyzer,
+		shedpath.Analyzer,
 	)
 }
 

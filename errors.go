@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrorCode is the transport-stable error taxonomy of the query protocol.
@@ -47,9 +48,16 @@ type Error struct {
 	Code    ErrorCode `json:"code"`
 	Message string    `json:"message,omitempty"`
 
+	// RetryAfterMillis, when positive on a CodeUnavailable error, hints
+	// how long the caller should wait before retrying: shed responses
+	// size it from observed queue dwell, breaker-open responses from the
+	// remaining cooldown. Clients treat it as the floor of their next
+	// backoff sleep; 0 means no hint.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+
 	// cause is the wrapped local error (Wrapf). It keeps errors.Is/As
 	// chains intact in-process and is deliberately not serialized: only
-	// Code and Message cross a transport boundary.
+	// Code, Message and RetryAfterMillis cross a transport boundary.
 	cause error
 }
 
@@ -69,6 +77,32 @@ func Wrapf(code ErrorCode, cause error, format string, args ...any) *Error {
 		msg += ": " + cause.Error()
 	}
 	return &Error{Code: code, Message: msg, cause: cause}
+}
+
+// WithRetryAfter stamps the retry_after_ms hint (rounded up to ≥1ms for
+// positive durations, so a sub-millisecond hint survives the integer
+// wire field) and returns e for call-site chaining.
+func (e *Error) WithRetryAfter(d time.Duration) *Error {
+	if d <= 0 {
+		return e
+	}
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	e.RetryAfterMillis = ms
+	return e
+}
+
+// RetryAfter extracts the retry hint from any error carrying a *Error
+// with RetryAfterMillis set (0 otherwise) — the duration clients floor
+// their next backoff sleep at.
+func RetryAfter(err error) time.Duration {
+	var pe *Error
+	if errors.As(err, &pe) && pe.RetryAfterMillis > 0 {
+		return time.Duration(pe.RetryAfterMillis) * time.Millisecond
+	}
+	return 0
 }
 
 // Unwrap exposes the wrapped cause (nil for errors built by Errorf or

@@ -14,6 +14,8 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	exactsim "github.com/exactsim/exactsim"
@@ -74,12 +76,31 @@ type Client struct {
 	retries   int
 	retryBase time.Duration
 	retryCap  time.Duration
+
+	// Retry budget (token bucket): each retry spends one token, each
+	// successful exchange earns budgetRatio back, capped at budgetBurst.
+	// At steady state retries are bounded to ~budgetRatio of traffic, so
+	// a saturated fleet sees at most (1+ratio)× its offered load instead
+	// of a (1+retries)× retry storm. budgetBurst <= 0 disables the budget
+	// (WithRetryBudget(-1, 0)).
+	budgetMu     sync.Mutex
+	budgetTokens float64
+	budgetRatio  float64
+	budgetBurst  float64
+
+	// Monotonic retry accounting (RetryStats): total attempts sent,
+	// retries among them, and retries the exhausted budget suppressed.
+	attempts        atomic.Int64
+	retriesSent     atomic.Int64
+	retriesDeclined atomic.Int64
 }
 
 const (
-	defaultRetries   = 2
-	defaultRetryBase = 5 * time.Millisecond
-	defaultRetryCap  = 250 * time.Millisecond
+	defaultRetries     = 2
+	defaultRetryBase   = 5 * time.Millisecond
+	defaultRetryCap    = 250 * time.Millisecond
+	defaultBudgetRatio = 0.1
+	defaultBudgetBurst = 10
 )
 
 // ClientOption customizes NewClient.
@@ -136,6 +157,74 @@ func WithRetryBackoff(base, cap time.Duration) ClientOption {
 	}
 }
 
+// WithRetryBudget tunes the client-wide retry token bucket: each retry
+// spends one token, each successful exchange earns ratio back, and the
+// bucket holds at most burst tokens (also its starting balance, so a
+// cold client can still rescue early transients). At steady state the
+// budget caps retry amplification near 1+ratio — the collective-action
+// fix for retry storms: when the fleet is saturated nobody's retries
+// are succeeding, so nobody earns tokens, so everybody stops re-sending.
+// ratio < 0 disables the budget entirely (per-call WithRetries attempts
+// always allowed); ratio 0 or burst 0 keep the defaults (0.1, 10).
+func WithRetryBudget(ratio float64, burst int) ClientOption {
+	return func(c *Client) {
+		if ratio < 0 {
+			c.budgetRatio, c.budgetBurst = 0, 0
+			return
+		}
+		if ratio > 0 {
+			c.budgetRatio = ratio
+		}
+		if burst > 0 {
+			c.budgetBurst = float64(burst)
+		}
+		c.budgetTokens = c.budgetBurst
+	}
+}
+
+// RetryStats reports the client's cumulative retry accounting: attempts
+// actually sent, how many of those were retries, and how many retries
+// the exhausted budget suppressed. Amplification observed by servers is
+// Attempts / (Attempts - Retries).
+type RetryStats struct {
+	Attempts   int64 `json:"attempts"`
+	Retries    int64 `json:"retries"`
+	Suppressed int64 `json:"suppressed"`
+}
+
+// RetryStats snapshots the retry counters (safe for concurrent use).
+func (c *Client) RetryStats() RetryStats {
+	return RetryStats{
+		Attempts:   c.attempts.Load(),
+		Retries:    c.retriesSent.Load(),
+		Suppressed: c.retriesDeclined.Load(),
+	}
+}
+
+// spendRetryToken reports whether the budget lets another retry go out,
+// consuming one token when it does. A disabled budget always allows.
+func (c *Client) spendRetryToken() bool {
+	c.budgetMu.Lock()
+	defer c.budgetMu.Unlock()
+	if c.budgetBurst <= 0 {
+		return true
+	}
+	if c.budgetTokens < 1 {
+		return false
+	}
+	c.budgetTokens--
+	return true
+}
+
+// earnRetryToken credits the budget for one successful exchange.
+func (c *Client) earnRetryToken() {
+	c.budgetMu.Lock()
+	if c.budgetTokens += c.budgetRatio; c.budgetTokens > c.budgetBurst {
+		c.budgetTokens = c.budgetBurst
+	}
+	c.budgetMu.Unlock()
+}
+
 // NewClient points a client at an exactsimd base URL (scheme + host,
 // e.g. "http://localhost:8640").
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -149,6 +238,8 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	c := &Client{
 		base: strings.TrimRight(u.String(), "/"), hc: sharedClient,
 		retries: defaultRetries, retryBase: defaultRetryBase, retryCap: defaultRetryCap,
+		budgetRatio: defaultBudgetRatio, budgetBurst: defaultBudgetBurst,
+		budgetTokens: defaultBudgetBurst,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -205,7 +296,7 @@ func (c *Client) TopK(ctx context.Context, source exactsim.NodeID, k int) ([]exa
 func (c *Client) Query(ctx context.Context, req exactsim.Request) (exactsim.Response, error) {
 	qr := QueryRequest{Request: req, TimeoutMillis: timeoutMillis(ctx)}
 	var resp exactsim.Response
-	if err := c.post(ctx, "/v1/query", qr, &resp); err != nil {
+	if err := c.post(ctx, "/v1/query", &qr, &resp); err != nil {
 		// A protocol error (non-2xx with a {code, message} envelope)
 		// belongs in Response.Err, same as a local Service would report
 		// it; only transport failures surface as Query's own error.
@@ -229,7 +320,7 @@ func (c *Client) Query(ctx context.Context, req exactsim.Request) (exactsim.Resp
 func (c *Client) Batch(ctx context.Context, reqs []exactsim.Request) ([]exactsim.Response, error) {
 	br := BatchRequest{Requests: reqs, TimeoutMillis: timeoutMillis(ctx)}
 	var out BatchResponse
-	if err := c.post(ctx, "/v1/batch", br, &out); err != nil {
+	if err := c.post(ctx, "/v1/batch", &br, &out); err != nil {
 		return nil, err
 	}
 	return out.Responses, nil
@@ -243,7 +334,7 @@ func (c *Client) Batch(ctx context.Context, reqs []exactsim.Request) ([]exactsim
 func (c *Client) Warm(ctx context.Context, wr exactsim.WarmRequest) (exactsim.WarmResponse, error) {
 	req := WarmRequest{WarmRequest: wr, TimeoutMillis: timeoutMillis(ctx)}
 	var resp exactsim.WarmResponse
-	if err := c.post(ctx, "/v1/warm", req, &resp); err != nil {
+	if err := c.post(ctx, "/v1/warm", &req, &resp); err != nil {
 		var pe *exactsim.Error
 		if errors.As(err, &pe) {
 			if resp.Err == nil {
@@ -375,9 +466,14 @@ func timeoutMillis(ctx context.Context) int64 {
 // protocol errors with capped decorrelated-jitter backoff. Every retried
 // path here is an idempotent read (the whole /v1 surface is); a reset
 // always fires before the server accepts the request, so re-sending is
-// safe. A retry only sleeps when the remaining context deadline budget
-// can absorb the sleep *and* another attempt — otherwise the last error
-// returns immediately instead of burning the caller's deadline on a wait.
+// safe. Each retry must also clear the token-bucket retry budget — under
+// fleet-wide saturation nothing succeeds, tokens stop flowing, and the
+// whole client population quiets down instead of storming. A retry only
+// sleeps when the remaining context deadline budget can absorb the sleep
+// *and* another attempt — otherwise the last error returns immediately
+// instead of burning the caller's deadline on a wait; a retry_after_ms
+// hint on the error floors the sleep (the server told us when the
+// backlog should have moved).
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -390,20 +486,41 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 			// must start from a zero value or stale fields survive a later
 			// success (json.Unmarshal merges, it does not reset).
 			reflect.ValueOf(out).Elem().SetZero()
+			// Deadline re-propagation: the first attempt and the backoff
+			// sleeps have spent part of the caller's budget, so a retried
+			// request re-serializes what actually remains — the server must
+			// never be granted dwell the client has already burned.
+			if dc, ok := in.(interface{ setTimeout(int64) }); ok {
+				if ms := timeoutMillis(ctx); ms > 0 {
+					dc.setTimeout(ms)
+					if body, err = json.Marshal(in); err != nil {
+						return fmt.Errorf("httpapi: encoding %s request: %w", path, err)
+					}
+				}
+			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		c.attempts.Add(1)
+		if attempt > 0 {
+			c.retriesSent.Add(1)
+		}
 		err = c.do(req, out)
 		if err == nil {
+			c.earnRetryToken()
 			return nil
 		}
 		if attempt >= c.retries || !retryableError(err) || ctx.Err() != nil {
 			return err
 		}
-		sleep, ok := c.backoff(ctx, &prev)
+		if !c.spendRetryToken() {
+			c.retriesDeclined.Add(1)
+			return err
+		}
+		sleep, ok := c.backoff(ctx, &prev, exactsim.RetryAfter(err))
 		if !ok {
 			return err
 		}
@@ -416,9 +533,10 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 }
 
 // backoff draws the next decorrelated-jitter sleep (uniform in
-// [base, 3·prev], capped) and reports whether the context's remaining
-// deadline budget can afford sleeping and then trying again.
-func (c *Client) backoff(ctx context.Context, prev *time.Duration) (time.Duration, bool) {
+// [base, 3·prev], capped, floored at the server's retry_after hint) and
+// reports whether the context's remaining deadline budget can afford
+// sleeping and then trying again.
+func (c *Client) backoff(ctx context.Context, prev *time.Duration, floor time.Duration) (time.Duration, bool) {
 	lo, hi := c.retryBase, 3*(*prev)
 	if hi > c.retryCap {
 		hi = c.retryCap
@@ -426,6 +544,12 @@ func (c *Client) backoff(ctx context.Context, prev *time.Duration) (time.Duratio
 	sleep := lo
 	if hi > lo {
 		sleep = lo + rand.N(hi-lo)
+	}
+	if sleep < floor {
+		// The server's hint outranks the jitter draw — retrying sooner
+		// than the backlog can drain is a wasted attempt. It also
+		// outranks retryCap: the hint is already bounded server-side.
+		sleep = floor
 	}
 	*prev = sleep
 	if dl, ok := ctx.Deadline(); ok {

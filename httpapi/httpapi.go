@@ -66,6 +66,14 @@ type WarmRequest struct {
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
+// setTimeout implements the client's deadline re-propagation: a retried
+// request re-serializes the *remaining* budget, so each tier (and each
+// backoff sleep) subtracts its own dwell from the wire timeout instead
+// of granting the server the original, already partly spent budget.
+func (r *QueryRequest) setTimeout(ms int64) { r.TimeoutMillis = ms }
+func (r *BatchRequest) setTimeout(ms int64) { r.TimeoutMillis = ms }
+func (r *WarmRequest) setTimeout(ms int64)  { r.TimeoutMillis = ms }
+
 // AlgorithmsResponse is the body answering GET /v1/algorithms.
 type AlgorithmsResponse struct {
 	// Algorithms lists every registry name the server accepts.

@@ -1,0 +1,78 @@
+package httpapi_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// BenchmarkClientRetryAmplification measures the retry amplification a
+// saturated server observes: every request is answered with a coded
+// "unavailable" shed (plus a retry_after_ms hint), so every client call
+// exhausts its retry policy. The amplification metric is server-seen
+// attempts per client call. Unbudgeted, retries=2 amplifies offered load
+// 3× — the classic retry storm that keeps a saturated fleet saturated.
+// With the token-bucket budget (shipped defaults: ratio 0.1, burst 10)
+// nothing succeeds, so no tokens are earned, the burst drains once, and
+// amplification settles at 1 + burst/N ≤ 1.1 — the overload-control
+// acceptance bound.
+func BenchmarkClientRetryAmplification(b *testing.B) {
+	for _, budgeted := range []bool{true, false} {
+		b.Run(fmt.Sprintf("budget=%t", budgeted), func(b *testing.B) {
+			var attempts atomic.Int64
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				attempts.Add(1)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(map[string]any{
+					"error": map[string]any{
+						"code":           string(exactsim.CodeUnavailable),
+						"message":        "saturated",
+						"retry_after_ms": 1,
+					},
+				})
+			}))
+			b.Cleanup(ts.Close)
+
+			opts := []httpapi.ClientOption{
+				httpapi.WithRetries(2),
+				// Tight backoff keeps the bench measuring the budget, not
+				// the sleeps; the server's 1ms hint still floors each one.
+				httpapi.WithRetryBackoff(100*time.Microsecond, time.Millisecond),
+			}
+			if !budgeted {
+				opts = append(opts, httpapi.WithRetryBudget(-1, 0))
+			}
+			c, err := httpapi.NewClient(ts.URL, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := c.Query(ctx, exactsim.Request{Source: exactsim.NodeID(i)})
+				if err != nil {
+					b.Fatalf("transport error: %v", err)
+				}
+				if resp.Err == nil || resp.Err.Code != exactsim.CodeUnavailable {
+					b.Fatalf("want coded unavailable shed, got %v", resp.Err)
+				}
+			}
+			b.StopTimer()
+
+			amp := float64(attempts.Load()) / float64(b.N)
+			b.ReportMetric(amp, "amplification")
+			st := c.RetryStats()
+			b.ReportMetric(float64(st.Suppressed), "suppressed")
+		})
+	}
+}

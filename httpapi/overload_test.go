@@ -1,0 +1,168 @@
+package httpapi_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// shedHandler answers every request with a coded unavailable shed (plus
+// a retry_after_ms hint) until the remaining counter hits zero, then
+// succeeds — the building block of the retry-budget and backoff-floor
+// tests. remaining < 0 sheds forever.
+func shedHandler(t *testing.T, remaining int, retryAfterMillis int64, onAttempt func(r *http.Request)) http.Handler {
+	t.Helper()
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if onAttempt != nil {
+			onAttempt(r)
+		}
+		mu.Lock()
+		shed := remaining != 0
+		if remaining > 0 {
+			remaining--
+		}
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if !shed {
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(exactsim.Response{GraphEpoch: 1})
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{
+			"code":           string(exactsim.CodeUnavailable),
+			"message":        "saturated",
+			"retry_after_ms": retryAfterMillis,
+		}})
+	})
+}
+
+// TestClientRetryBudgetSuppressesStorm pins the token-bucket arithmetic
+// against an always-saturated server: the burst funds exactly its size
+// in retries, nothing succeeds so nothing is earned, and every later
+// call gets exactly one attempt — the collective-action fix for retry
+// storms, counted attempt by attempt.
+func TestClientRetryBudgetSuppressesStorm(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(shedHandler(t, -1, 1, func(*http.Request) { attempts++ }))
+	defer ts.Close()
+
+	c, err := httpapi.NewClient(ts.URL,
+		httpapi.WithRetries(2),
+		httpapi.WithRetryBackoff(100*time.Microsecond, time.Millisecond),
+		httpapi.WithRetryBudget(0.5, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		resp, err := c.Query(ctx, exactsim.Request{})
+		if err != nil {
+			t.Fatalf("call %d: transport error %v", i, err)
+		}
+		if resp.Err == nil || resp.Err.Code != exactsim.CodeUnavailable {
+			t.Fatalf("call %d: want coded unavailable, got %v", i, resp.Err)
+		}
+	}
+	// Call 1 retries twice (spending the whole burst); calls 2..10 are
+	// declined their first retry and return after a single attempt.
+	if want := calls + 2; attempts != want {
+		t.Fatalf("server saw %d attempts for %d calls, want %d", attempts, calls, want)
+	}
+	st := c.RetryStats()
+	if st.Retries != 2 || st.Suppressed != calls-1 {
+		t.Fatalf("RetryStats = %+v, want 2 retries and %d suppressed", st, calls-1)
+	}
+}
+
+// TestClientRetryAfterFloorsBackoff: the server's retry_after_ms hint
+// floors the backoff sleep, outranking even the configured cap — the
+// client must not knock again before the server said the backlog could
+// have moved.
+func TestClientRetryAfterFloorsBackoff(t *testing.T) {
+	const hint = 80 * time.Millisecond
+	ts := httptest.NewServer(shedHandler(t, 1, hint.Milliseconds(), nil))
+	defer ts.Close()
+
+	c, err := httpapi.NewClient(ts.URL,
+		httpapi.WithRetries(2),
+		// Cap far below the hint: only the floor can make this retry wait.
+		httpapi.WithRetryBackoff(100*time.Microsecond, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := c.Query(context.Background(), exactsim.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != nil {
+		t.Fatalf("retry should have succeeded, got %v", resp.Err)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Fatalf("retry fired after %v, before the server's %v retry_after hint", elapsed, hint)
+	}
+}
+
+// TestClientRetryRepropagatesDeadline: a retried request re-serializes
+// the caller's *remaining* deadline budget as timeout_ms — the attempt
+// after an 100ms backoff must grant the server strictly less dwell than
+// the first, not the original already-spent budget.
+func TestClientRetryRepropagatesDeadline(t *testing.T) {
+	const hint = 100 * time.Millisecond
+	var mu sync.Mutex
+	var timeouts []int64
+	ts := httptest.NewServer(shedHandler(t, 1, hint.Milliseconds(), func(r *http.Request) {
+		var qr httpapi.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+			t.Errorf("decoding attempt body: %v", err)
+			return
+		}
+		mu.Lock()
+		timeouts = append(timeouts, qr.TimeoutMillis)
+		mu.Unlock()
+	}))
+	defer ts.Close()
+
+	c, err := httpapi.NewClient(ts.URL,
+		httpapi.WithRetries(2),
+		httpapi.WithRetryBackoff(100*time.Microsecond, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	resp, err := c.Query(ctx, exactsim.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != nil {
+		t.Fatalf("retry should have succeeded, got %v", resp.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(timeouts) != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (timeouts %v)", len(timeouts), timeouts)
+	}
+	if timeouts[0] <= 0 || timeouts[0] > 500 {
+		t.Fatalf("first attempt timeout_ms = %d, want within the caller's 500ms budget", timeouts[0])
+	}
+	// The backoff slept through the server's 100ms hint; the re-sent
+	// budget must have shrunk by at least half of that (generous slack
+	// for scheduling), never grown.
+	if timeouts[1] > timeouts[0]-50 {
+		t.Fatalf("retried attempt re-sent timeout_ms %d after the first sent %d; the spent backoff must come out of the wire budget", timeouts[1], timeouts[0])
+	}
+}

@@ -134,8 +134,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), qr.TimeoutMillis)
 	defer cancel()
+	// Expired on arrival (a sub-millisecond wire budget, or a caller gone
+	// before decode finished): answer without touching the worker pool.
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.Response{Request: qr.Request, Err: e})
+		return
+	}
 	resp := s.svc.Query(ctx, qr.Request)
 	writeJSON(w, StatusOf(resp.Err), resp)
+}
+
+// expiredOnArrival reports a context already dead at tier entry as the
+// protocol error to answer with (nil while budget remains). Each tier
+// checks before doing work, so a query whose deadline has already passed
+// is bounced immediately — the deadline-propagation contract.
+func expiredOnArrival(ctx context.Context) *exactsim.Error {
+	if err := ctx.Err(); err != nil {
+		return exactsim.ToError(err)
+	}
+	return nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -152,6 +169,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), br.TimeoutMillis)
 	defer cancel()
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
 	// Per-request failures live inside each Response; the batch call
 	// itself is a 200.
 	writeJSON(w, http.StatusOK, BatchResponse{Responses: s.svc.Batch(ctx, br.Requests)})
@@ -184,6 +205,10 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), wr.TimeoutMillis)
 	defer cancel()
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.WarmResponse{Err: e})
+		return
+	}
 	resp := s.svc.Warm(ctx, wr.WarmRequest)
 	writeJSON(w, StatusOf(resp.Err), resp)
 }

@@ -80,6 +80,13 @@ const Directive = "//lint:nondeterministic-ok"
 //	//lint:bounded <termination argument>
 const BoundedDirective = "//lint:bounded"
 
+// ShedDirective is shedpath's escape hatch: it asserts that a Response
+// built bare inside an overload path is stamped (Err or Degraded) before
+// it can reach a caller, and why the analyzer cannot see it:
+//
+//	//lint:shed-ok <where the outcome is stamped>
+const ShedDirective = "//lint:shed-ok"
+
 // IsTestFile reports whether pos lies in a _test.go file. The determinism
 // contract binds production kernel code; tests may use maps and clocks
 // freely (the bit-determinism oracle tests do, deliberately).

@@ -1,0 +1,119 @@
+// Package shedpath enforces the overload-answer contract on the serving
+// surface: a function implementing a shed, drop, CoDel, or brownout
+// decision must stamp every Response it builds — either a coded
+// *exactsim.Error (the shed/drop case) or the Degraded flag (the
+// brownout case). A bare success-shaped Response escaping an overload
+// path is the worst kind of overload bug: the caller sees a normal
+// answer with no scores and no error, retries nothing, degrades
+// nothing, and the taxonomy (DESIGN §5, §12) silently ends there.
+//
+// Detection is structural (fixtures cannot import the module): inside
+// the coded-error package set, any function whose name mentions an
+// overload verb (shed / drop / codel / degrad / brownout,
+// case-insensitive) is an overload path, and every keyed composite
+// literal of a Response-suffixed type it builds must set an Err or
+// Degraded field. Helpers that fill the stamp in later suppress the
+// finding with the //lint:shed-ok directive, justification required.
+package shedpath
+
+import (
+	"go/ast"
+	"regexp"
+
+	"github.com/exactsim/exactsim/internal/lint"
+	"github.com/exactsim/exactsim/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shedpath",
+	Doc: "require overload paths to stamp their Responses\n\n" +
+		"In the exactsim, httpapi and cluster packages, functions implementing shed,\n" +
+		"drop, CoDel or brownout decisions must not build a Response that sets neither\n" +
+		"Err nor Degraded: an unstamped answer leaving an overload path loses both the\n" +
+		"retryable error taxonomy and the degradation marker at once.",
+	Run: run,
+}
+
+// overloadName marks a function as an overload path by its name.
+var overloadName = regexp.MustCompile(`(?i)shed|drop|codel|degrad|brownout`)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lint.CodedErrorPackages(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sup := lint.NewSuppressorFor(pass, lint.ShedDirective)
+	lint.WalkFiles(pass, func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !overloadName.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFunc(pass, sup, fd)
+		}
+	})
+	return nil, nil
+}
+
+// checkFunc flags every Response-like composite literal in fd's body
+// (closures included — an unstamped Response escapes through a callback
+// just the same) that sets neither Err nor Degraded. Positional literals
+// are left alone: they can only compile by filling every field, Err
+// included.
+func checkFunc(pass *analysis.Pass, sup *lint.Suppressor, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		name := responseTypeName(cl.Type)
+		if name == "" || stamped(cl) || positional(cl) || sup.Suppressed(cl.Pos()) {
+			return true
+		}
+		pass.Reportf(cl.Pos(), "overload path %s builds a %s with neither Err nor Degraded set; a shed or degraded answer must carry a coded *exactsim.Error or the Degraded flag", fd.Name.Name, name)
+		return true
+	})
+}
+
+// responseTypeName returns the syntactic type name when it looks like a
+// wire response ("Response" or any *Response suffix, qualified or not),
+// else "".
+func responseTypeName(t ast.Expr) string {
+	var id *ast.Ident
+	switch u := t.(type) {
+	case *ast.Ident:
+		id = u
+	case *ast.SelectorExpr:
+		id = u.Sel
+	default:
+		return ""
+	}
+	name := id.Name
+	if name == "Response" || (len(name) > len("Response") && name[len(name)-len("Response"):] == "Response") {
+		return name
+	}
+	return ""
+}
+
+// stamped reports whether the literal sets an Err or Degraded field.
+func stamped(cl *ast.CompositeLit) bool {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && (key.Name == "Err" || key.Name == "Degraded") {
+			return true
+		}
+	}
+	return false
+}
+
+// positional reports whether the literal uses unkeyed elements.
+func positional(cl *ast.CompositeLit) bool {
+	for _, elt := range cl.Elts {
+		if _, ok := elt.(*ast.KeyValueExpr); !ok {
+			return true
+		}
+	}
+	return false
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/exactsim/exactsim/internal/lint/errcode"
 	"github.com/exactsim/exactsim/internal/lint/linttest"
 	"github.com/exactsim/exactsim/internal/lint/rngsource"
+	"github.com/exactsim/exactsim/internal/lint/shedpath"
 )
 
 // kernelID replays a fixture directory as if it were a deterministic
@@ -36,6 +37,7 @@ func TestGolden(t *testing.T) {
 		{rngsource.Analyzer, "testdata/rngsource", kernelID},
 		{errcode.Analyzer, "testdata/errcode", surfaceID},
 		{ctxpoll.Analyzer, "testdata/ctxpoll", kernelID},
+		{shedpath.Analyzer, "testdata/shedpath", surfaceID},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer.Name, func(t *testing.T) {
@@ -51,6 +53,7 @@ func TestGolden(t *testing.T) {
 func TestOutsideTargetsSilent(t *testing.T) {
 	for _, a := range []*analysis.Analyzer{
 		detrange.Analyzer, rngsource.Analyzer, errcode.Analyzer, ctxpoll.Analyzer,
+		shedpath.Analyzer,
 	} {
 		t.Run(a.Name, func(t *testing.T) {
 			linttest.Run(t, a, "testdata/nontarget", outsideID)

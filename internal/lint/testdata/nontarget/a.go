@@ -35,3 +35,12 @@ func spin(n *int) {
 		*n++
 	}
 }
+
+type Response struct {
+	N   int
+	Err error
+}
+
+func shedOutside(n int) Response {
+	return Response{N: n}
+}

@@ -1,0 +1,385 @@
+package exactsim
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Priority is a request's overload class. Under pressure the Service
+// sheds classes in reverse order — background first, interactive last —
+// so pre-warming and clone traffic can never crowd out a user-facing
+// query. The zero value ("") means interactive: unmarked traffic is
+// assumed to have a human waiting on it.
+type Priority string
+
+const (
+	// PriorityInteractive is user-facing traffic: served first, shed
+	// last. Empty Priority fields normalize to this class.
+	PriorityInteractive Priority = "interactive"
+	// PriorityBatch is throughput traffic (offline batches, analytics):
+	// served after interactive, shed before it.
+	PriorityBatch Priority = "batch"
+	// PriorityBackground is optional work — Warm prefetch, clone-driven
+	// fills — shed first whenever anything else wants the slot.
+	PriorityBackground Priority = "background"
+)
+
+// rank maps a Priority onto its queue class (0 = most urgent). The
+// second result is false for unknown class names, which the Service
+// rejects as invalid_argument rather than guessing a class.
+func (p Priority) rank() (int, bool) {
+	switch p {
+	case "", PriorityInteractive:
+		return 0, true
+	case PriorityBatch:
+		return 1, true
+	case PriorityBackground:
+		return 2, true
+	}
+	return 0, false
+}
+
+// display is the class name with the zero value spelled out.
+func (p Priority) display() Priority {
+	if p == "" {
+		return PriorityInteractive
+	}
+	return p
+}
+
+// numPriorities is the queue class count (rank 0..numPriorities-1).
+const numPriorities = 3
+
+// DefaultDegradeLadder is the brownout downgrade map applied when
+// ServiceOptions.DegradeLadder is nil: each algorithm steps to a cheaper
+// estimator with a looser (but still bounded and deterministic) accuracy
+// profile. Only requests with AllowDegraded set ever take a step.
+var DefaultDegradeLadder = map[string]string{
+	"exactsim":       "prsim",
+	"exactsim-basic": "prsim",
+	"parsim":         "prsim",
+	"prsim":          "mc",
+	"probesim":       "mc",
+	"linearization":  "mc",
+	"powermethod":    "mc",
+}
+
+const (
+	// defaultQueueTarget is the CoDel sojourn target: queueing above this
+	// for a full window means the pool is behind, not merely bursty.
+	defaultQueueTarget = 5 * time.Millisecond
+	// defaultQueueWindow is the CoDel interval — how long sojourn must
+	// stay above target before head drops begin, and the sliding horizon
+	// of the brownout overload signal.
+	defaultQueueWindow = 100 * time.Millisecond
+	// defaultBrownoutMaxEpsilon caps brownout epsilon loosening: a
+	// degraded answer doubles the request's epsilon at most up to here.
+	defaultBrownoutMaxEpsilon = 0.1
+)
+
+// queueDropReason says why the queue ejected a job without running it.
+type queueDropReason int
+
+const (
+	// dropShed: the queue was full and this job was the cheapest loss
+	// (either the incoming job, or a queued lower-class victim evicted to
+	// make room for a more urgent arrival).
+	dropShed queueDropReason = iota
+	// dropCoDel: sojourn time stayed over target for a full window, so
+	// the queue is standing, not bursting — oldest-first drops shorten it
+	// (dropping from the tail would keep serving stale work forever).
+	// Only deadline-bearing jobs are eligible: a caller with no deadline
+	// asked to wait however long it takes, so ejecting it would turn a
+	// slow answer into a wrong one.
+	dropCoDel
+)
+
+// serviceQueue replaces the single FIFO jobs channel: three bounded
+// per-class FIFOs drained strictly by class (interactive before batch
+// before background), with class-aware shedding on overflow and
+// CoDel-style age-based head drop once standing sojourn exceeds the
+// target for a window. All state is guarded by mu; onDrop is invoked
+// outside the lock and must answer the job (exactly once — a dropped job
+// is no longer reachable by any worker).
+type serviceQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	capacity int
+	closed   bool
+	classes  [numPriorities][]*serviceJob
+	size     int
+
+	target time.Duration // CoDel sojourn target; <=0 disables age drops
+	window time.Duration // CoDel interval / overload horizon
+
+	// CoDel control-law state (Nichols & Jacobson): first-above-target
+	// timestamp, whether we are in the dropping state, and the next drop
+	// time advancing as window/sqrt(dropCount).
+	aboveSince time.Time
+	dropping   bool
+	dropNext   time.Time
+	dropCount  int
+
+	// lastShed timestamps the most recent overflow shed — together with
+	// the dropping state it forms the brownout "sustained overload"
+	// signal.
+	lastShed time.Time
+
+	// sojournEWMA smooths observed queue dwell (α = 1/8); it sizes the
+	// retry_after_ms hint shed responses carry.
+	sojournEWMA time.Duration
+
+	sheds      int64
+	codelDrops int64
+
+	onDrop func(*serviceJob, queueDropReason)
+}
+
+func newServiceQueue(capacity int, target, window time.Duration, onDrop func(*serviceJob, queueDropReason)) *serviceQueue {
+	q := &serviceQueue{capacity: capacity, target: target, window: window, onDrop: onDrop}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+type pushVerdict int
+
+const (
+	pushOK pushVerdict = iota
+	pushShed
+	pushClosed
+)
+
+// push enqueues job, shedding class-aware on overflow: a full queue
+// evicts the newest job of the lowest class strictly below the incoming
+// one (background loses its slot to batch, both lose to interactive);
+// when nothing queued is lower, the incoming job itself is shed. The
+// submitter learns its own fate from the verdict; an evicted victim is
+// answered through onDrop.
+func (q *serviceQueue) push(job *serviceJob) pushVerdict {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return pushClosed
+	}
+	var victim *serviceJob
+	if q.size >= q.capacity {
+		q.lastShed = time.Now()
+		q.sheds++
+		for c := numPriorities - 1; c > job.pri; c-- {
+			if n := len(q.classes[c]); n > 0 {
+				victim = q.classes[c][n-1]
+				q.classes[c][n-1] = nil
+				q.classes[c] = q.classes[c][:n-1]
+				q.size--
+				break
+			}
+		}
+		if victim == nil {
+			q.mu.Unlock()
+			return pushShed
+		}
+	}
+	q.classes[job.pri] = append(q.classes[job.pri], job)
+	q.size++
+	q.cond.Signal()
+	q.mu.Unlock()
+	if victim != nil {
+		q.onDrop(victim, dropShed)
+	}
+	return pushOK
+}
+
+// pop blocks until a job is available (or the queue is closed and
+// drained) and returns the head of the highest-priority nonempty class.
+// Dequeue is where CoDel acts: the popped job's sojourn feeds the
+// control law, and when a drop fires the victim is the oldest
+// deadline-bearing job of the least-urgent nonempty class — work whose
+// loss hurts least and whose caller bounded its wait anyway. The popped
+// job itself is dropped only when nothing cheaper is droppable and it
+// carries a deadline of its own; when the whole backlog is unbounded
+// waiters, the control law stays armed but no job is lost.
+func (q *serviceQueue) pop() (*serviceJob, bool) {
+	q.mu.Lock()
+	for {
+		for q.size == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.size == 0 {
+			q.mu.Unlock()
+			return nil, false
+		}
+		job := q.dequeueLocked(0)
+		now := time.Now()
+		sojourn := now.Sub(job.enq)
+		q.observeLocked(sojourn)
+		if !q.codelDropLocked(sojourn, now) {
+			q.mu.Unlock()
+			return job, true
+		}
+		if victim := q.codelVictimLocked(job.pri + 1); victim != nil {
+			q.codelDrops++
+			q.mu.Unlock()
+			q.onDrop(victim, dropCoDel)
+			return job, true
+		}
+		if job.deadline {
+			q.codelDrops++
+			q.mu.Unlock()
+			q.onDrop(job, dropCoDel)
+			q.mu.Lock()
+			continue
+		}
+		q.mu.Unlock()
+		return job, true
+	}
+}
+
+// codelVictimLocked removes and returns the oldest deadline-bearing job
+// of the least-urgent nonempty class at or below minClass urgency; nil
+// when nothing queued there is droppable (deadline-free callers wait out
+// any backlog — CoDel never ejects them).
+func (q *serviceQueue) codelVictimLocked(minClass int) *serviceJob {
+	for c := numPriorities - 1; c >= minClass; c-- {
+		cls := q.classes[c]
+		for i, job := range cls {
+			if !job.deadline {
+				continue
+			}
+			copy(cls[i:], cls[i+1:])
+			cls[len(cls)-1] = nil
+			q.classes[c] = cls[:len(cls)-1]
+			q.size--
+			return job
+		}
+	}
+	return nil
+}
+
+// dequeueLocked removes and returns the head (oldest) job of the first
+// nonempty class at or below minClass urgency; nil when none.
+func (q *serviceQueue) dequeueLocked(minClass int) *serviceJob {
+	for c := minClass; c < numPriorities; c++ {
+		cls := q.classes[c]
+		if len(cls) == 0 {
+			continue
+		}
+		job := cls[0]
+		cls[0] = nil
+		if len(cls) == 1 {
+			q.classes[c] = nil // release the drifting backing array
+		} else {
+			q.classes[c] = cls[1:]
+		}
+		q.size--
+		return job
+	}
+	return nil
+}
+
+// observeLocked folds one dequeued sojourn into the EWMA (α = 1/8).
+func (q *serviceQueue) observeLocked(sojourn time.Duration) {
+	if q.sojournEWMA == 0 {
+		q.sojournEWMA = sojourn
+		return
+	}
+	q.sojournEWMA += (sojourn - q.sojournEWMA) / 8
+}
+
+// codelDropLocked runs the CoDel control law on one dequeue: drops begin
+// after sojourn stays above target for a full window and then accelerate
+// as window/sqrt(count) until a below-target dequeue resets the state.
+func (q *serviceQueue) codelDropLocked(sojourn time.Duration, now time.Time) bool {
+	if q.target <= 0 {
+		return false
+	}
+	if sojourn < q.target {
+		q.aboveSince = time.Time{}
+		q.dropping = false
+		q.dropCount = 0
+		return false
+	}
+	if q.aboveSince.IsZero() {
+		q.aboveSince = now
+		return false
+	}
+	if !q.dropping {
+		if now.Sub(q.aboveSince) < q.window {
+			return false
+		}
+		q.dropping = true
+		q.dropCount = 1
+		q.dropNext = now.Add(codelInterval(q.window, 1))
+		return true
+	}
+	if now.Before(q.dropNext) {
+		return false
+	}
+	q.dropCount++
+	q.dropNext = now.Add(codelInterval(q.window, q.dropCount))
+	return true
+}
+
+// codelInterval is the inter-drop spacing: window/sqrt(count), so the
+// drop rate ramps gently instead of cliff-dropping the queue.
+func codelInterval(window time.Duration, count int) time.Duration {
+	return time.Duration(float64(window) / math.Sqrt(float64(count)))
+}
+
+// overloaded is the brownout signal: the queue is in the CoDel dropping
+// state, or an overflow shed happened within the last window. Both mean
+// demand has exceeded capacity for a sustained stretch, not one burst.
+func (q *serviceQueue) overloaded() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropping || (!q.lastShed.IsZero() && time.Since(q.lastShed) <= q.window)
+}
+
+// retryAfterMillis sizes the retry_after_ms hint on shed responses:
+// twice the smoothed sojourn (the backlog should have moved by then),
+// floored at the sojourn target and 1ms, capped at 1s.
+func (q *serviceQueue) retryAfterMillis() int64 {
+	q.mu.Lock()
+	hint := 2 * q.sojournEWMA
+	floor := q.target
+	q.mu.Unlock()
+	if floor <= 0 {
+		floor = 10 * time.Millisecond
+	}
+	if hint < floor {
+		hint = floor
+	}
+	if hint > time.Second {
+		hint = time.Second
+	}
+	ms := hint.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// depth reports the queued job count.
+func (q *serviceQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// dropStats snapshots the shed/CoDel counters and the smoothed sojourn.
+func (q *serviceQueue) dropStats() (sheds, codelDrops int64, sojourn time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sheds, q.codelDrops, q.sojournEWMA
+}
+
+// close wakes every waiting worker; queued jobs are still drained (pop
+// keeps returning them until the queue empties), matching the channel
+// semantics this queue replaced. Pushes after close report pushClosed.
+func (q *serviceQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -25,9 +25,11 @@ type ServiceOptions struct {
 	// Workers is the size of the query worker pool — the maximum number of
 	// queries computing concurrently. 0 selects GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds queries waiting for a worker; submissions beyond
-	// it block in Query until a slot frees (or their context expires).
-	// 0 selects 4×Workers.
+	// QueueDepth bounds queries waiting for a worker. Submissions beyond
+	// it are shed class-aware (background first, interactive last) with a
+	// retryable unavailable carrying a retry_after_ms hint — never
+	// blocked, so an overloaded service answers fast instead of growing
+	// an unbounded line. 0 selects 4×Workers.
 	QueueDepth int
 	// CacheSize is the single-source LRU capacity, keyed by (epoch,
 	// algorithm, source, ε). 0 selects 1024; negative disables caching.
@@ -65,6 +67,35 @@ type ServiceOptions struct {
 	// Write faults can only ever cost the snapshot (the container
 	// checksum catches them on open), never answer correctness.
 	SnapshotWriteWrap func(io.Writer) io.Writer
+
+	// QueueTarget is the CoDel sojourn target of the priority queue:
+	// once queued jobs dwell above it for a full QueueWindow, the queue
+	// enters its dropping state and sheds oldest-first until dwell
+	// recovers. 0 selects 5ms; negative disables age-based drops (the
+	// overflow shed and deadline rejection still apply).
+	QueueTarget time.Duration
+	// QueueWindow is the CoDel interval: how long dwell must stay above
+	// QueueTarget before drops begin, and the sliding horizon of the
+	// brownout overload signal. 0 selects 100ms.
+	QueueWindow time.Duration
+
+	// DisableBrownout turns degraded answering off entirely: overloaded
+	// requests are shed rather than answered by a cheaper plan, even
+	// when they set AllowDegraded.
+	DisableBrownout bool
+	// BrownoutMaxEpsilon caps brownout epsilon loosening: a degraded
+	// request's epsilon doubles (one quantization octave — the chunk
+	// allowances of PR 4 are power-of-two sized, so octave steps stay
+	// cache-aligned) only while the doubled value stays at or below this
+	// cap. 0 selects 0.1; negative disables epsilon loosening (the
+	// DegradeLadder algorithm downgrade remains).
+	BrownoutMaxEpsilon float64
+	// DegradeLadder maps each algorithm to the cheaper one a brownout
+	// answer may substitute when epsilon can loosen no further. nil
+	// selects DefaultDegradeLadder; an empty non-nil map disables
+	// algorithm downgrades. Every key and value must name a registered
+	// algorithm (validated by NewService).
+	DegradeLadder map[string]string
 }
 
 func (o *ServiceOptions) normalize() {
@@ -82,6 +113,18 @@ func (o *ServiceOptions) normalize() {
 	}
 	if o.DefaultAlgorithm == "" {
 		o.DefaultAlgorithm = "exactsim"
+	}
+	if o.QueueTarget == 0 {
+		o.QueueTarget = defaultQueueTarget
+	}
+	if o.QueueWindow <= 0 {
+		o.QueueWindow = defaultQueueWindow
+	}
+	if o.BrownoutMaxEpsilon == 0 {
+		o.BrownoutMaxEpsilon = defaultBrownoutMaxEpsilon
+	}
+	if o.DegradeLadder == nil {
+		o.DegradeLadder = DefaultDegradeLadder
 	}
 }
 
@@ -105,6 +148,18 @@ type Request struct {
 	// fill) — for callers that need a fresh computation, e.g. right after
 	// graph updates elsewhere.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Priority is the request's overload class (interactive > batch >
+	// background); empty means interactive. Under pressure lower classes
+	// queue behind higher ones and are shed first; Warm traffic defaults
+	// to background.
+	Priority Priority `json:"priority,omitempty"`
+	// AllowDegraded opts this request into brownout mode: when the
+	// service detects sustained overload it may answer with a cheaper
+	// plan (epsilon loosened one octave, or the algorithm stepped down
+	// the configured ladder), marking Response.Degraded. Requests that
+	// do not opt in are never degraded — their answers stay bit-exact
+	// under any load.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // Response carries one request's outcome. Err is per-request and
@@ -127,6 +182,12 @@ type Response struct {
 	// is internally consistent on its epoch even when an update lands
 	// mid-query.
 	GraphEpoch uint64 `json:"graph_epoch"`
+	// Degraded marks a brownout answer: the service was overloaded, the
+	// request set AllowDegraded, and this response was computed by a
+	// cheaper plan (loosened epsilon or a downgraded algorithm — the
+	// echoed Request shows which). Never set on requests that did not
+	// opt in.
+	Degraded bool `json:"degraded,omitempty"`
 	// Err is the per-request error, nil on success. Cancelled queries
 	// report CodeCanceled/CodeDeadlineExceeded (matching the context
 	// sentinels under errors.Is).
@@ -206,6 +267,21 @@ type ServiceStats struct {
 	DiagExplores      int     `json:"diag_explores"`
 	DiagResidentBytes int64   `json:"diag_resident_bytes"`
 	DiagBudgetBytes   int64   `json:"diag_budget_bytes"`
+	// Overload-control gauges. ShedQueries counts requests rejected (or
+	// evicted) by the full priority queue; CoDelDrops counts age-based
+	// head drops (sojourn over target for a window); DeadlineRejected
+	// counts queries answered deadline_exceeded before any work because
+	// their budget was already spent on arrival or in the queue;
+	// DegradedQueries counts successful brownout answers (AllowDegraded
+	// requests served by a cheaper plan). BrownoutActive reports whether
+	// the overload signal is currently firing; QueueSojournMicros is the
+	// smoothed queue dwell the retry_after_ms hints are sized from.
+	ShedQueries        int64 `json:"shed_queries"`
+	CoDelDrops         int64 `json:"codel_drops"`
+	DeadlineRejected   int64 `json:"deadline_rejected"`
+	DegradedQueries    int64 `json:"degraded_queries"`
+	BrownoutActive     bool  `json:"brownout_active"`
+	QueueSojournMicros int64 `json:"queue_sojourn_us"`
 	// PanicsRecovered counts panics contained by recover() instead of
 	// killing the process — worker panics, querier-build panics, and (in
 	// the HTTP servers' view of this struct) handler panics. Nonzero
@@ -257,8 +333,16 @@ type Service struct {
 	// unsubscribe detaches a ServeDynamic subscription on Close.
 	unsubscribe func()
 
-	jobs    chan *serviceJob
+	// queue is the class-aware priority queue feeding the worker pool
+	// (see overload.go): bounded like the old jobs channel, but drained
+	// interactive-first, shed class-aware on overflow, and CoDel-dropped
+	// when standing dwell exceeds QueueTarget.
+	queue   *serviceQueue
 	workers sync.WaitGroup
+
+	// degradeLadder is the validated, private copy of
+	// ServiceOptions.DegradeLadder brownout answers step down.
+	degradeLadder map[string]string
 
 	// buildCtx outlives individual requests: index builds run under it
 	// (cancelled only by Close), so one short-deadline request cannot
@@ -266,8 +350,8 @@ type Service struct {
 	buildCtx    context.Context
 	cancelBuild context.CancelFunc
 
-	// closeMu guards the jobs channel against send-after-close: Query
-	// sends under RLock, Close closes under Lock.
+	// closeMu guards the closed flag (the queue has its own internal
+	// closed state; pushes after close are rejected, never a panic).
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -301,6 +385,12 @@ type Service struct {
 	cacheHits atomic.Int64
 	errors    atomic.Int64
 	inFlight  atomic.Int64
+
+	// deadlineRejected counts expired-on-arrival answers (budget gone
+	// before any work); degradedQueries counts successful brownout
+	// answers. Both are monotonic wire gauges.
+	deadlineRejected atomic.Int64
+	degradedQueries  atomic.Int64
 
 	// panics counts worker/build panics contained by recover(); lastPanic
 	// keeps the most recent one's headline + stack for diagnosis. A panic
@@ -343,6 +433,13 @@ type serviceJob struct {
 	st   *graphState
 	req  Request
 	resp chan Response
+	// pri is the validated queue class (Priority.rank); enq timestamps
+	// admission, feeding sojourn accounting and CoDel; deadline records
+	// whether ctx bounds the wait — only deadline-bearing jobs are
+	// eligible for CoDel age drops.
+	pri      int
+	enq      time.Time
+	deadline bool
 }
 
 // NewService starts a query service over g (graph epoch 1).
@@ -363,16 +460,33 @@ func newService(g *Graph, opts ServiceOptions, restoredIdx *DiagSampleIndex) (*S
 		return nil, Errorf(CodeNotFound, "exactsim: unknown default algorithm %q (have %v)",
 			opts.DefaultAlgorithm, Algorithms())
 	}
+	// The ladder is part of answer semantics (a degraded response follows
+	// it), so it is validated like the default algorithm and copied so a
+	// caller mutating its map cannot change live routing.
+	ladder := make(map[string]string, len(opts.DegradeLadder))
+	for from, to := range opts.DegradeLadder {
+		if !KnownAlgorithm(from) || !KnownAlgorithm(to) {
+			return nil, Errorf(CodeNotFound,
+				"exactsim: degrade ladder step %q -> %q names an unknown algorithm (have %v)",
+				from, to, Algorithms())
+		}
+		if from == to {
+			return nil, Errorf(CodeInvalidArgument,
+				"exactsim: degrade ladder step %q -> %q is a no-op", from, to)
+		}
+		ladder[from] = to
+	}
 	buildCtx, cancelBuild := context.WithCancel(context.Background())
 	s := &Service{
-		opts:        opts,
-		jobs:        make(chan *serviceJob, opts.QueueDepth),
-		buildCtx:    buildCtx,
-		cancelBuild: cancelBuild,
-		queriers:    make(map[querierKey]*querierSlot),
-		inflight:    make(map[cacheKey]*flight),
-		cache:       newResultCache(opts.CacheSize),
+		opts:          opts,
+		buildCtx:      buildCtx,
+		cancelBuild:   cancelBuild,
+		degradeLadder: ladder,
+		queriers:      make(map[querierKey]*querierSlot),
+		inflight:      make(map[cacheKey]*flight),
+		cache:         newResultCache(opts.CacheSize),
 	}
+	s.queue = newServiceQueue(opts.QueueDepth, opts.QueueTarget, opts.QueueWindow, s.dropJob)
 	st := s.newState(g, 1)
 	if restoredIdx != nil && s.opts.DiagIndexBytes >= 0 {
 		st.diagIdx = restoredIdx
@@ -502,9 +616,16 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 		return s.fail(st, req, Errorf(CodeInvalidArgument,
 			"exactsim: epsilon %g outside (0,1) (0 = service default)", req.Epsilon))
 	}
+	if _, ok := req.Priority.rank(); !ok {
+		return s.fail(st, req, Errorf(CodeInvalidArgument,
+			"exactsim: unknown priority %q (have %q, %q, %q)",
+			req.Priority, PriorityInteractive, PriorityBatch, PriorityBackground))
+	}
 
+	var degraded bool
 	if req.NoCache {
-		return s.dispatch(ctx, st, req)
+		req, degraded = s.maybeDegrade(req)
+		return s.markDegraded(s.dispatch(ctx, st, req), degraded)
 	}
 
 	// Cacheable path: cache lookup, then request-level single-flight —
@@ -514,9 +635,20 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 	// so requests racing an Update dedupe only within their generation.
 	key := cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
 		source: req.Source, epsilon: req.Epsilon}
+	// An exact answer already cached preempts brownout: a hit is cheaper
+	// than any degraded plan, so an opted-in request only degrades on a
+	// miss. Degradation rewrites the plan fields, so key, cache line and
+	// single-flight all operate on the plan actually computed.
+	if res, ok := s.cache.get(key); ok {
+		return s.respond(st, req, res, true)
+	}
+	if req, degraded = s.maybeDegrade(req); degraded {
+		key = cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
+			source: req.Source, epsilon: req.Epsilon}
+	}
 	for {
 		if res, ok := s.cache.get(key); ok {
-			return s.respond(st, req, res, true)
+			return s.markDegraded(s.respond(st, req, res, true), degraded)
 		}
 		s.flightMu.Lock()
 		if f, ok := s.inflight[key]; ok {
@@ -526,13 +658,13 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 				if f.resp.Err == nil && f.resp.Result != nil {
 					// Served by the leader's computation: a hit as far as
 					// this request is concerned.
-					return s.respond(st, req, f.resp.Result, true)
+					return s.markDegraded(s.respond(st, req, f.resp.Result, true), degraded)
 				}
 				// The leader failed (its deadline, a build error): its
 				// error is not ours — loop and retry, perhaps as leader.
 				continue
 			case <-ctx.Done():
-				return s.fail(st, req, ToError(ctx.Err()))
+				return s.markDegraded(s.fail(st, req, ToError(ctx.Err())), degraded)
 			}
 		}
 		f := &flight{done: make(chan struct{})}
@@ -546,12 +678,60 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 		delete(s.inflight, key)
 		s.flightMu.Unlock()
 		close(f.done)
-		return resp
+		return s.markDegraded(resp, degraded)
 	}
 }
 
+// maybeDegrade substitutes a cheaper plan while the overload signal
+// fires, for requests that opted in (AllowDegraded) and services that
+// allow it. One step per request: epsilon loosens one quantization
+// octave while the doubled value stays under BrownoutMaxEpsilon, else
+// the algorithm steps down the degrade ladder. Requests without the
+// opt-in pass through untouched — their answers stay bit-exact under
+// any load (the brownout determinism carve-out, DESIGN §12).
+func (s *Service) maybeDegrade(req Request) (Request, bool) {
+	if !req.AllowDegraded || s.opts.DisableBrownout || !s.queue.overloaded() {
+		return req, false
+	}
+	if req.Epsilon > 0 && s.opts.BrownoutMaxEpsilon > 0 && 2*req.Epsilon <= s.opts.BrownoutMaxEpsilon {
+		req.Epsilon *= 2
+		return req, true
+	}
+	if next, ok := s.degradeLadder[req.Algorithm]; ok {
+		req.Algorithm = next
+		return req, true
+	}
+	return req, false
+}
+
+// markDegraded stamps a brownout answer and counts it (successes only —
+// a degraded plan that still failed degraded nobody's accuracy).
+func (s *Service) markDegraded(resp Response, degraded bool) Response {
+	if !degraded {
+		return resp
+	}
+	resp.Degraded = true
+	if resp.Err == nil {
+		s.degradedQueries.Add(1)
+	}
+	return resp
+}
+
 // dispatch queues one request on the worker pool and waits for its
-// response under ctx (tightened by DefaultTimeout).
+// response under ctx (tightened by DefaultTimeout). A request whose
+// budget is already spent — or that the overflowing queue sheds — is
+// answered immediately instead of occupying a slot; it never blocks
+// the submitter.
+// deadlineSpent reports whether ctx's deadline has already passed on the
+// wall clock. Deliberately stricter than ctx.Err(): the runtime timer
+// that cancels a context can fire milliseconds late on a loaded
+// scheduler, and an admission check that waited for it would execute
+// work whose budget is provably gone.
+func deadlineSpent(ctx context.Context) bool {
+	dl, ok := ctx.Deadline()
+	return ok && !time.Now().Before(dl)
+}
+
 func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Response {
 	if s.opts.DefaultTimeout > 0 {
 		var cancel context.CancelFunc
@@ -559,18 +739,27 @@ func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Res
 		defer cancel()
 	}
 
-	job := &serviceJob{ctx: ctx, st: st, req: req, resp: make(chan Response, 1)}
-	s.closeMu.RLock()
-	if s.closed {
-		s.closeMu.RUnlock()
-		return s.fail(st, req, ToError(ErrServiceClosed))
+	// Expired-on-arrival rejection: a query that cannot meet its deadline
+	// must not cost a queue slot, let alone a worker.
+	if err := ctx.Err(); err != nil || deadlineSpent(ctx) {
+		if err == nil {
+			err = context.DeadlineExceeded
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlineRejected.Add(1)
+		}
+		return s.fail(st, req, ToError(err))
 	}
-	select {
-	case s.jobs <- job:
-		s.closeMu.RUnlock()
-	case <-ctx.Done():
-		s.closeMu.RUnlock()
-		return s.fail(st, req, ToError(ctx.Err()))
+
+	pri, _ := req.Priority.rank() // validated in query()
+	_, hasDeadline := ctx.Deadline()
+	job := &serviceJob{ctx: ctx, st: st, req: req, resp: make(chan Response, 1),
+		pri: pri, enq: time.Now(), deadline: hasDeadline}
+	switch s.queue.push(job) {
+	case pushClosed:
+		return s.fail(st, req, ToError(ErrServiceClosed))
+	case pushShed:
+		return s.fail(st, req, s.shedError(req.Priority))
 	}
 
 	select {
@@ -581,6 +770,35 @@ func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Res
 		// drop it without computing.
 		return s.fail(st, req, ToError(ctx.Err()))
 	}
+}
+
+// dropJob answers a job the queue ejected (overflow shed or CoDel age
+// drop) with a retryable unavailable carrying the retry_after_ms hint.
+// It runs on whichever goroutine triggered the drop; the response
+// channel is buffered, so the send never blocks even when the
+// submitter already gave up on its context.
+func (s *Service) dropJob(job *serviceJob, reason queueDropReason) {
+	var err *Error
+	switch reason {
+	case dropCoDel:
+		err = Errorf(CodeUnavailable,
+			"exactsim: %s query dropped: queue dwell over target (CoDel)",
+			job.req.Priority.display())
+	default:
+		err = Errorf(CodeUnavailable,
+			"exactsim: %s query shed: queue full", job.req.Priority.display())
+	}
+	err.RetryAfterMillis = s.queue.retryAfterMillis()
+	job.resp <- s.fail(job.st, job.req, err)
+}
+
+// shedError is the answer for a request the full queue rejected at the
+// door (as opposed to a queued victim it evicted).
+func (s *Service) shedError(pri Priority) *Error {
+	err := Errorf(CodeUnavailable,
+		"exactsim: %s query shed: queue full", pri.display())
+	err.RetryAfterMillis = s.queue.retryAfterMillis()
+	return err
 }
 
 // Batch answers many requests concurrently through the worker pool and
@@ -604,6 +822,15 @@ func (s *Service) Batch(ctx context.Context, reqs []Request) []Response {
 		}
 		select {
 		case sem <- struct{}{}:
+			// select picks randomly among ready cases, so a slot can win
+			// the race against an already-dead context; re-check so an
+			// expired batch never submits more work to the pool.
+			if ctx.Err() != nil {
+				<-sem
+				s.failRemaining(ctx, reqs, out, i)
+				wg.Wait()
+				return out
+			}
 		case <-ctx.Done():
 			s.failRemaining(ctx, reqs, out, i)
 			wg.Wait()
@@ -648,7 +875,10 @@ func (s *Service) Warm(ctx context.Context, wr WarmRequest) WarmResponse {
 	}
 	reqs := make([]Request, len(sources))
 	for i, src := range sources {
-		reqs[i] = Request{Algorithm: wr.Algorithm, Source: src, Epsilon: wr.Epsilon}
+		// Warming is optional work by definition: it rides the background
+		// class so a warm pass can never crowd out user-facing queries.
+		reqs[i] = Request{Algorithm: wr.Algorithm, Source: src, Epsilon: wr.Epsilon,
+			Priority: PriorityBackground}
 	}
 	var out WarmResponse
 	for _, resp := range s.Batch(ctx, reqs) {
@@ -696,8 +926,21 @@ func (s *Service) failRemaining(ctx context.Context, reqs []Request, out []Respo
 
 func (s *Service) worker() {
 	defer s.workers.Done()
-	for job := range s.jobs {
-		if err := job.ctx.Err(); err != nil {
+	for {
+		job, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		// A deadline that expired while the job queued is answered here,
+		// without computing: queued-but-expired work executing anyway is
+		// exactly the overload death spiral this layer exists to break.
+		if err := job.ctx.Err(); err != nil || deadlineSpent(job.ctx) {
+			if err == nil {
+				err = context.DeadlineExceeded
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.deadlineRejected.Add(1)
+			}
 			job.resp <- s.fail(job.st, job.req, ToError(err))
 			continue
 		}
@@ -881,16 +1124,23 @@ func (s *Service) Stats() ServiceStats {
 	queriers := len(s.queriers)
 	s.querierMu.Unlock()
 	st := s.state.Load()
+	sheds, codelDrops, sojourn := s.queue.dropStats()
 	out := ServiceStats{
-		Queries:         s.queries.Load(),
-		CacheHits:       s.cacheHits.Load(),
-		Errors:          s.errors.Load(),
-		CachedResults:   s.cache.len(),
-		QueueDepth:      len(s.jobs),
-		InFlight:        int(s.inFlight.Load()),
-		Queriers:        queriers,
-		GraphEpoch:      st.epoch,
-		PanicsRecovered: s.panics.Load(),
+		Queries:            s.queries.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		Errors:             s.errors.Load(),
+		CachedResults:      s.cache.len(),
+		QueueDepth:         s.queue.depth(),
+		InFlight:           int(s.inFlight.Load()),
+		Queriers:           queriers,
+		GraphEpoch:         st.epoch,
+		ShedQueries:        sheds,
+		CoDelDrops:         codelDrops,
+		DeadlineRejected:   s.deadlineRejected.Load(),
+		DegradedQueries:    s.degradedQueries.Load(),
+		BrownoutActive:     s.queue.overloaded(),
+		QueueSojournMicros: sojourn.Microseconds(),
+		PanicsRecovered:    s.panics.Load(),
 	}
 	if p := s.lastPanic.Load(); p != nil {
 		out.LastPanic = *p
@@ -942,7 +1192,7 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	close(s.jobs)
+	s.queue.close()
 	s.closeMu.Unlock()
 	if s.unsubscribe != nil {
 		s.unsubscribe()

@@ -1,0 +1,347 @@
+package exactsim_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/internal/algo"
+	"github.com/exactsim/exactsim/internal/graph"
+	"github.com/exactsim/exactsim/internal/sparse"
+)
+
+// The test-stall algorithm parks every SingleSource on a gate channel so
+// tests can hold the worker pool at a known saturation point. Executions
+// are counted so tests can prove a rejected query never computed.
+var (
+	stallGate       chan struct{}
+	stallGateMu     sync.Mutex
+	stallExecutions atomic.Int64
+	registerStall   sync.Once
+)
+
+const stallAlgName = "test-stall"
+
+func setStallGate(ch chan struct{}) {
+	stallGateMu.Lock()
+	stallGate = ch
+	stallGateMu.Unlock()
+}
+
+func currentStallGate() chan struct{} {
+	stallGateMu.Lock()
+	defer stallGateMu.Unlock()
+	return stallGate
+}
+
+type stallQuerier struct{ g *graph.Graph }
+
+func (q *stallQuerier) Name() string        { return stallAlgName }
+func (q *stallQuerier) Graph() *graph.Graph { return q.g }
+
+func (q *stallQuerier) SingleSource(ctx context.Context, source graph.NodeID) (*algo.Result, error) {
+	stallExecutions.Add(1)
+	if gate := currentStallGate(); gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	scores := make([]float64, q.g.N())
+	scores[source] = 1
+	return &algo.Result{Algorithm: stallAlgName, Scores: scores}, nil
+}
+
+func (q *stallQuerier) TopK(ctx context.Context, source graph.NodeID, k int) ([]sparse.Entry, *algo.Result, error) {
+	res, err := q.SingleSource(ctx, source)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sparse.TopK(res.Scores, k, source), res, nil
+}
+
+func registerStallAlgorithm() {
+	registerStall.Do(func() {
+		algo.Register(stallAlgName, func(ctx context.Context, g *graph.Graph, cfg algo.Config) (algo.Querier, error) {
+			return &stallQuerier{g: g}, nil
+		})
+	})
+}
+
+// saturateService parks one query on the single worker, waits for it to
+// start computing, then fills the queue with `depth` more — sequenced so
+// no filler can race the worker's pop and get shed early. All parked
+// queries ride the given priority and answer into done. The gate release
+// is also a t.Cleanup, so a failing assertion can never deadlock Close
+// behind a stalled worker.
+func saturateService(t *testing.T, svc *exactsim.Service, pri exactsim.Priority, depth int) (done chan exactsim.Response, release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	setStallGate(gate)
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			close(gate)
+			setStallGate(nil)
+		})
+	}
+	t.Cleanup(release)
+	done = make(chan exactsim.Response, depth+1)
+	submit := func(src exactsim.NodeID) {
+		go func() {
+			done <- svc.Query(context.Background(), exactsim.Request{
+				Algorithm: stallAlgName, Source: src, NoCache: true, Priority: pri})
+		}()
+	}
+	waitFor := func(what string, ok func(exactsim.ServiceStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := svc.Stats()
+			if ok(st) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("service never reached %s: %+v", what, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	submit(0)
+	waitFor("in-flight worker", func(st exactsim.ServiceStats) bool { return st.InFlight >= 1 })
+	for i := 1; i <= depth; i++ {
+		submit(exactsim.NodeID(i))
+	}
+	waitFor("full queue", func(st exactsim.ServiceStats) bool { return st.QueueDepth >= depth })
+	return done, release
+}
+
+// TestServiceShedsWhenSaturated: a full queue answers the next submission
+// promptly with a retryable unavailable carrying a retry_after_ms hint —
+// it never blocks the submitter behind the backlog. Run under -race in
+// the overload-smoke CI job.
+func TestServiceShedsWhenSaturated(t *testing.T) {
+	registerStallAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers: 1, QueueDepth: 2, QueueTarget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	done, release := saturateService(t, svc, exactsim.PriorityBackground, 2)
+	defer release()
+
+	start := time.Now()
+	resp := svc.Query(context.Background(), exactsim.Request{
+		Algorithm: stallAlgName, Source: 40, NoCache: true, Priority: exactsim.PriorityBackground})
+	elapsed := time.Since(start)
+	if resp.Err == nil {
+		t.Fatal("saturated submission succeeded")
+	}
+	if resp.Err.Code != exactsim.CodeUnavailable {
+		t.Fatalf("shed code = %q, want unavailable", resp.Err.Code)
+	}
+	if resp.Err.RetryAfterMillis <= 0 {
+		t.Fatalf("shed response carries no retry_after_ms hint: %+v", resp.Err)
+	}
+	if got := exactsim.RetryAfter(resp.Err); got <= 0 {
+		t.Fatalf("RetryAfter(err) = %v, want > 0", got)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("shed took %v — the submitter blocked behind the backlog", elapsed)
+	}
+	if st := svc.Stats(); st.ShedQueries == 0 {
+		t.Fatalf("shed_queries = 0 after a shed: %+v", st)
+	}
+
+	release()
+	for i := 0; i < 3; i++ {
+		if r := <-done; r.Err != nil {
+			t.Fatalf("parked query failed after release: %v", r.Err)
+		}
+	}
+}
+
+// TestServicePriorityEviction: when the queue is full of background
+// work, an interactive arrival takes a slot — the newest background job
+// is evicted with the shed error, and the interactive query completes.
+func TestServicePriorityEviction(t *testing.T) {
+	registerStallAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers: 1, QueueDepth: 2, QueueTarget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	done, release := saturateService(t, svc, exactsim.PriorityBackground, 2)
+	defer release()
+
+	interactive := make(chan exactsim.Response, 1)
+	go func() {
+		interactive <- svc.Query(context.Background(), exactsim.Request{
+			Algorithm: stallAlgName, Source: 41, NoCache: true})
+	}()
+
+	// One parked background query loses its slot to the interactive
+	// arrival: it answers unavailable while the worker still stalls.
+	select {
+	case r := <-done:
+		if r.Err == nil || r.Err.Code != exactsim.CodeUnavailable {
+			t.Fatalf("evicted background query: err = %v, want unavailable", r.Err)
+		}
+		if r.Err.RetryAfterMillis <= 0 {
+			t.Fatalf("evicted response carries no retry hint: %+v", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no background query was evicted for the interactive arrival")
+	}
+
+	release()
+	if r := <-interactive; r.Err != nil {
+		t.Fatalf("interactive query failed: %v", r.Err)
+	}
+	for i := 0; i < 2; i++ {
+		if r := <-done; r.Err != nil {
+			t.Fatalf("surviving background query failed: %v", r.Err)
+		}
+	}
+}
+
+// TestServiceExpiredOnArrival: a query whose budget is spent before
+// submission is answered deadline_exceeded without computing, and the
+// deadline_rejected gauge counts it.
+func TestServiceExpiredOnArrival(t *testing.T) {
+	registerStallAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	setStallGate(nil)
+
+	before := stallExecutions.Load()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	resp := svc.Query(ctx, exactsim.Request{Algorithm: stallAlgName, Source: 1, NoCache: true})
+	if resp.Err == nil || resp.Err.Code != exactsim.CodeDeadlineExceeded {
+		t.Fatalf("expired query: err = %v, want deadline_exceeded", resp.Err)
+	}
+	if got := stallExecutions.Load(); got != before {
+		t.Fatalf("expired query executed anyway (%d -> %d)", before, got)
+	}
+	if st := svc.Stats(); st.DeadlineRejected == 0 {
+		t.Fatalf("deadline_rejected = 0 after an expired arrival: %+v", st)
+	}
+}
+
+// TestServiceUnknownPriorityRejected: class names outside the taxonomy
+// are invalid_argument, not silently mapped to a class.
+func TestServiceUnknownPriorityRejected(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	resp := svc.Query(context.Background(), exactsim.Request{Source: 1, Priority: "urgent"})
+	if resp.Err == nil || resp.Err.Code != exactsim.CodeInvalidArgument {
+		t.Fatalf("unknown priority: err = %v, want invalid_argument", resp.Err)
+	}
+}
+
+// TestServiceBrownoutDegrades: under the overload signal an AllowDegraded
+// request is answered by the ladder's cheaper algorithm with
+// Response.Degraded set; a request without the opt-in keeps its exact
+// plan through the same overload.
+func TestServiceBrownoutDegrades(t *testing.T) {
+	registerStallAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(60, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers: 1, QueueDepth: 1, QueueTarget: -1,
+		DegradeLadder: map[string]string{"exactsim": "mc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Trip the overload signal: saturate, then shed one submission. The
+	// signal holds for a QueueWindow after the shed, which is the window
+	// the degraded request rides in after release frees the pool.
+	done, release := saturateService(t, svc, exactsim.PriorityBackground, 1)
+	shed := svc.Query(context.Background(), exactsim.Request{
+		Algorithm: stallAlgName, Source: 50, NoCache: true, Priority: exactsim.PriorityBackground})
+	if shed.Err == nil || shed.Err.Code != exactsim.CodeUnavailable {
+		t.Fatalf("priming shed: err = %v, want unavailable", shed.Err)
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		<-done
+	}
+	if !svc.Stats().BrownoutActive {
+		t.Skip("overload signal already decayed (slow machine)")
+	}
+
+	opted := svc.Query(context.Background(), exactsim.Request{
+		Algorithm: "exactsim", Source: 2, AllowDegraded: true})
+	if opted.Err != nil {
+		t.Fatalf("degraded query failed: %v", opted.Err)
+	}
+	if !opted.Degraded {
+		t.Fatalf("overloaded AllowDegraded answer not marked degraded: %+v", opted)
+	}
+	if opted.Request.Algorithm != "mc" {
+		t.Fatalf("degraded plan = %q, want ladder step mc", opted.Request.Algorithm)
+	}
+	if st := svc.Stats(); st.DegradedQueries == 0 {
+		t.Fatalf("degraded_queries = 0 after a brownout answer: %+v", st)
+	}
+
+	exact := svc.Query(context.Background(), exactsim.Request{
+		Algorithm: "exactsim", Source: 3, NoCache: true})
+	if exact.Err != nil {
+		t.Fatalf("exact query failed: %v", exact.Err)
+	}
+	if exact.Degraded || exact.Request.Algorithm != "exactsim" {
+		t.Fatalf("non-opted request altered under overload: %+v", exact.Request)
+	}
+}
+
+// TestServiceBatchExpiredAnsweredLocally: a batch whose context dies
+// mid-submission answers the remaining entries in place with the
+// context's code — none of them reach the pool.
+func TestServiceBatchExpiredAnsweredLocally(t *testing.T) {
+	registerStallAlgorithm()
+	g := exactsim.GenerateBarabasiAlbert(50, 3, 7)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	setStallGate(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := make([]exactsim.Request, 8)
+	for i := range reqs {
+		reqs[i] = exactsim.Request{Algorithm: stallAlgName, Source: exactsim.NodeID(i), NoCache: true}
+	}
+	before := stallExecutions.Load()
+	out := svc.Batch(ctx, reqs)
+	if got := stallExecutions.Load(); got != before {
+		t.Fatalf("cancelled batch executed %d queries", got-before)
+	}
+	for i, r := range out {
+		if r.Err == nil || r.Err.Code != exactsim.CodeCanceled {
+			t.Fatalf("batch[%d]: err = %v, want canceled", i, r.Err)
+		}
+	}
+}

@@ -13,25 +13,31 @@ import (
 // aggregation (which embeds it), so renaming or dropping a tag is a
 // protocol break — this test makes that a deliberate act.
 var statsTagGolden = map[string]string{
-	"Queries":           "queries",
-	"CacheHits":         "cache_hits",
-	"Errors":            "errors",
-	"CachedResults":     "cached_results",
-	"QueueDepth":        "queue_depth",
-	"InFlight":          "in_flight",
-	"Queriers":          "queriers",
-	"GraphEpoch":        "graph_epoch",
-	"DiagIndexEnabled":  "diag_index_enabled",
-	"DiagHits":          "diag_hits",
-	"DiagMisses":        "diag_misses",
-	"DiagHitRate":       "diag_hit_rate",
-	"DiagEvictions":     "diag_evictions",
-	"DiagChunks":        "diag_chunks",
-	"DiagExplores":      "diag_explores",
-	"DiagResidentBytes": "diag_resident_bytes",
-	"DiagBudgetBytes":   "diag_budget_bytes",
-	"PanicsRecovered":   "panics_recovered",
-	"LastPanic":         "last_panic",
+	"Queries":            "queries",
+	"CacheHits":          "cache_hits",
+	"Errors":             "errors",
+	"CachedResults":      "cached_results",
+	"QueueDepth":         "queue_depth",
+	"InFlight":           "in_flight",
+	"Queriers":           "queriers",
+	"GraphEpoch":         "graph_epoch",
+	"DiagIndexEnabled":   "diag_index_enabled",
+	"DiagHits":           "diag_hits",
+	"DiagMisses":         "diag_misses",
+	"DiagHitRate":        "diag_hit_rate",
+	"DiagEvictions":      "diag_evictions",
+	"DiagChunks":         "diag_chunks",
+	"DiagExplores":       "diag_explores",
+	"DiagResidentBytes":  "diag_resident_bytes",
+	"DiagBudgetBytes":    "diag_budget_bytes",
+	"ShedQueries":        "shed_queries",
+	"CoDelDrops":         "codel_drops",
+	"DeadlineRejected":   "deadline_rejected",
+	"DegradedQueries":    "degraded_queries",
+	"BrownoutActive":     "brownout_active",
+	"QueueSojournMicros": "queue_sojourn_us",
+	"PanicsRecovered":    "panics_recovered",
+	"LastPanic":          "last_panic",
 }
 
 func TestServiceStatsTagsComplete(t *testing.T) {

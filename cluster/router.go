@@ -473,6 +473,94 @@ func (r *Router) hedgeDelay() (time.Duration, bool) {
 	return d, true
 }
 
+// QueryStream answers one request through the fleet as a refinement
+// stream: emit receives each intermediate record as its replica produces
+// it, and the returned Response is the terminal answer — bit-identical
+// to what Query would return for the same request. Streams are never
+// hedged (two replicas would double-deliver refinements) and retry on
+// the next ring candidate only while nothing has reached emit yet; once
+// a refinement is out, replaying the ladder from another replica would
+// hand the caller the same tiers twice, so a later failure is final.
+func (r *Router) QueryStream(ctx context.Context, req exactsim.Request, emit func(exactsim.Response)) exactsim.Response {
+	r.queries.Add(1)
+	resp := r.routeStream(ctx, req, emit)
+	if resp.Err != nil {
+		r.errors.Add(1)
+	}
+	return resp
+}
+
+func (r *Router) routeStream(ctx context.Context, req exactsim.Request, emit func(exactsim.Response)) exactsim.Response {
+	if emit == nil {
+		emit = func(exactsim.Response) {}
+	}
+	if err := ctx.Err(); err != nil {
+		return exactsim.Response{Request: req, Err: exactsim.ToError(err)}
+	}
+	cands, err := r.pick(req.Source, priorityRank(req.Priority))
+	if err != nil {
+		return exactsim.Response{Request: req, Err: r.pickError(err)}
+	}
+	if len(cands) > r.opts.MaxAttempts {
+		cands = cands[:r.opts.MaxAttempts]
+	}
+	var last exactsim.Response
+	for i, b := range cands {
+		emitted := false
+		res := r.tryOneStream(ctx, b, req, func(rec exactsim.Response) {
+			emitted = true
+			emit(rec)
+		})
+		if !res.retryable || emitted {
+			if res.resp.Err == nil {
+				r.tracker.record(res.latency)
+			}
+			return res.resp
+		}
+		last = res.resp
+		if i+1 < len(cands) {
+			r.retries.Add(1)
+		}
+	}
+	return last
+}
+
+// tryOneStream is tryOne for the streaming endpoint: same breaker
+// bracketing and retryability classification, no hedge accounting.
+func (r *Router) tryOneStream(ctx context.Context, b *backend, req exactsim.Request, emit func(exactsim.Response)) tryResult {
+	if r.opts.breakerEnabled() && !b.brk.acquire(time.Now(), r.opts.BreakerCooldown) {
+		r.breakerSkips.Add(1)
+		return tryResult{
+			resp: exactsim.Response{Request: req,
+				Err: exactsim.Errorf(exactsim.CodeUnavailable, "cluster: %s: circuit breaker open", b.url)},
+			retryable: ctx.Err() == nil,
+		}
+	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	start := time.Now()
+	resp, err := b.client.QueryStream(ctx, req, emit)
+	lat := time.Since(start)
+	if err != nil {
+		if r.opts.breakerEnabled() && ctx.Err() == nil {
+			b.brk.result(false, r.opts.BreakerThreshold, time.Now())
+		}
+		return tryResult{
+			resp: exactsim.Response{Request: req,
+				Err: exactsim.Errorf(exactsim.CodeUnavailable, "cluster: %s: %v", b.url, err)},
+			retryable: ctx.Err() == nil,
+			latency:   lat,
+		}
+	}
+	if r.opts.breakerEnabled() {
+		b.brk.result(true, r.opts.BreakerThreshold, time.Now())
+	}
+	if resp.Err != nil && retryableCode(resp.Err.Code) && ctx.Err() == nil {
+		return tryResult{resp: resp, retryable: true, latency: lat}
+	}
+	return tryResult{resp: resp, latency: lat}
+}
+
 // Batch answers many requests through the fleet, responses aligned with
 // requests by index. Requests are grouped by their primary replica and
 // shipped as per-replica sub-batches (one round trip each); a sub-batch

@@ -62,6 +62,7 @@ func NewServer(r *Router, opts ServerOptions) *Server {
 	opts.normalize()
 	s := &Server{router: r, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
@@ -101,11 +102,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Expired on arrival: answer before burning a candidate walk or a
 	// wire attempt (same contract as httpapi.Server and the Service).
 	if e := expiredOnArrival(ctx); e != nil {
-		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Request: qr.Request, Err: e})
+		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Request: qr.Body, Err: e})
 		return
 	}
-	resp := s.router.Query(ctx, qr.Request)
+	resp := s.router.Query(ctx, qr.Body)
 	writeJSON(w, httpapi.StatusOf(resp.Err), resp)
+}
+
+// handleQueryStream forwards one query as an NDJSON refinement stream
+// from whichever replica the router picks; the terminal record (final:
+// true) matches what POST /v1/query through the router would answer.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var qr httpapi.QueryRequest
+	if e := s.decode(w, r, &qr); e != nil {
+		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), qr.TimeoutMillis)
+	defer cancel()
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Request: qr.Body, Err: e})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	resp := s.router.QueryStream(ctx, qr.Body, func(rec exactsim.Response) {
+		enc.Encode(httpapi.StreamRecord{Response: rec})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	enc.Encode(httpapi.StreamRecord{Response: resp, Final: true})
 }
 
 // expiredOnArrival reports a context already dead at tier entry as the
@@ -123,9 +152,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Err: e})
 		return
 	}
-	if s.opts.MaxBatch > 0 && len(br.Requests) > s.opts.MaxBatch {
+	if s.opts.MaxBatch > 0 && len(br.Body.Requests) > s.opts.MaxBatch {
 		e := exactsim.Errorf(exactsim.CodeInvalidArgument,
-			"cluster: batch of %d exceeds the router bound %d", len(br.Requests), s.opts.MaxBatch)
+			"cluster: batch of %d exceeds the router bound %d", len(br.Body.Requests), s.opts.MaxBatch)
 		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Err: e})
 		return
 	}
@@ -135,7 +164,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, httpapi.StatusOf(e), exactsim.Response{Err: e})
 		return
 	}
-	writeJSON(w, http.StatusOK, httpapi.BatchResponse{Responses: s.router.Batch(ctx, br.Requests)})
+	writeJSON(w, http.StatusOK, httpapi.BatchResponse{Responses: s.router.Batch(ctx, br.Body.Requests)})
 }
 
 func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
@@ -150,7 +179,7 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, httpapi.StatusOf(e), exactsim.WarmResponse{Err: e})
 		return
 	}
-	resp := s.router.Warm(ctx, wr.WarmRequest)
+	resp := s.router.Warm(ctx, wr.Body)
 	writeJSON(w, httpapi.StatusOf(resp.Err), resp)
 }
 
@@ -191,18 +220,21 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, res.Body)
 }
 
-// handleAlgorithms proxies the registry listing from the first healthy
-// replica — the fleet serves whatever its members serve.
+// handleAlgorithms re-serves the capability/cost surface of the first
+// healthy replica — the fleet serves whatever its members serve, and
+// replicas run the same registry, so one member speaks for all. The
+// per-backend client caches the response, so steady-state scrapes cost
+// no upstream round trip.
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	for _, b := range s.router.snapshot() {
 		if !b.healthy.Load() {
 			continue
 		}
-		names, def, err := b.client.Algorithms(r.Context())
+		ar, err := b.client.AlgorithmsInfo(r.Context())
 		if err != nil {
 			continue
 		}
-		writeJSON(w, http.StatusOK, httpapi.AlgorithmsResponse{Algorithms: names, Default: def})
+		writeJSON(w, http.StatusOK, ar)
 		return
 	}
 	e := exactsim.Errorf(exactsim.CodeUnavailable, "cluster: no healthy backends")

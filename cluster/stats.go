@@ -140,6 +140,8 @@ func (r *Router) Stats() FleetStats {
 			if st.QueueSojournMicros > agg.QueueSojournMicros {
 				agg.QueueSojournMicros = st.QueueSojournMicros
 			}
+			agg.AutoPlanned += st.AutoPlanned
+			agg.PartialResults += st.PartialResults
 			agg.PanicsRecovered += st.PanicsRecovered
 			if agg.LastPanic == "" {
 				agg.LastPanic = st.LastPanic

@@ -1,0 +1,123 @@
+package cluster_test
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	exactsim "github.com/exactsim/exactsim"
+	"github.com/exactsim/exactsim/cluster"
+	"github.com/exactsim/exactsim/httpapi"
+)
+
+// TestRouterQueryStream: a stream routed through the fleet forwards
+// every tier refinement and ends with a terminal answer bit-identical
+// to the plain routed query.
+func TestRouterQueryStream(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(250, 3, 42)
+	svcOpts := exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.05), exactsim.WithSeed(1)},
+	}
+	_, urls := startFleet(t, g, 3, svcOpts)
+	r, err := cluster.New(urls, manualPollOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	r.Poll(ctx)
+
+	req := exactsim.Request{Source: 8, Epsilon: 0.001, K: 5, NoCache: true}
+	var refinements []exactsim.Response
+	final := r.QueryStream(ctx, req, func(res exactsim.Response) { refinements = append(refinements, res) })
+	if final.Err != nil {
+		t.Fatal(final.Err)
+	}
+	if final.Partial {
+		t.Fatal("terminal record flagged Partial")
+	}
+	if len(refinements) == 0 {
+		t.Fatal("no refinements forwarded through the router")
+	}
+	prev := math.Inf(1)
+	for i, ref := range refinements {
+		if !ref.Partial || ref.AchievedEpsilon <= 0 {
+			t.Fatalf("refinement %d not a tier record: %+v", i, ref)
+		}
+		if ref.AchievedEpsilon >= prev {
+			t.Fatalf("refinement %d did not tighten: %g then %g", i, prev, ref.AchievedEpsilon)
+		}
+		prev = ref.AchievedEpsilon
+	}
+
+	plain := r.Query(ctx, req)
+	if plain.Err != nil {
+		t.Fatal(plain.Err)
+	}
+	if len(final.Result.Scores) != len(plain.Result.Scores) {
+		t.Fatalf("score lengths differ: %d vs %d", len(final.Result.Scores), len(plain.Result.Scores))
+	}
+	for i := range final.Result.Scores {
+		if math.Float64bits(final.Result.Scores[i]) != math.Float64bits(plain.Result.Scores[i]) {
+			t.Fatalf("routed stream and routed query diverge at %d", i)
+		}
+	}
+}
+
+// TestRouterServerStreamAndAlgorithms: the fleet front door re-serves
+// both new surfaces — /v1/query/stream proxies the backend ladder and
+// /v1/algorithms re-serves a backend's capability document.
+func TestRouterServerStreamAndAlgorithms(t *testing.T) {
+	g := exactsim.GenerateBarabasiAlbert(250, 3, 42)
+	svcOpts := exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.05), exactsim.WithSeed(1)},
+	}
+	_, urls := startFleet(t, g, 2, svcOpts)
+	r, err := cluster.New(urls, manualPollOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	r.Poll(ctx)
+	rs := httptest.NewServer(cluster.NewServer(r, cluster.ServerOptions{}))
+	defer rs.Close()
+
+	c, err := httpapi.NewClient(rs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var refinements int
+	final, err := c.QueryStream(ctx, exactsim.Request{Source: 8, Epsilon: 0.001, K: 5},
+		func(exactsim.Response) { refinements++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Err != nil || final.Partial || refinements == 0 {
+		t.Fatalf("front-door stream: err=%v partial=%v refinements=%d",
+			final.Err, final.Partial, refinements)
+	}
+
+	ar, err := c.AlgorithmsInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Default != exactsim.AlgorithmAuto {
+		t.Fatalf("front-door default %q", ar.Default)
+	}
+	// Compare against the static caps table, not Algorithms(): sibling
+	// tests in this binary register throwaway methods into the registry.
+	if len(ar.Methods) != len(exactsim.AlgorithmCaps()) {
+		t.Fatalf("front door re-served %d method rows, want %d",
+			len(ar.Methods), len(exactsim.AlgorithmCaps()))
+	}
+	for _, m := range ar.Methods {
+		if m.CostUnits <= 0 || m.CostNanos <= 0 {
+			t.Fatalf("method %q lost its cost row through the proxy: %+v", m.Name, m)
+		}
+	}
+}

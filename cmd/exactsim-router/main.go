@@ -11,6 +11,8 @@
 // Then:
 //
 //	curl -s localhost:8639/v1/query -d '{"source":42,"k":5}'
+//	curl -sN localhost:8639/v1/query/stream -d '{"source":42,"allow_partial":true,"timeout_ms":500}'
+//	curl -s localhost:8639/v1/algorithms   # capability/cost surface (re-served from a replica)
 //	curl -s localhost:8639/v1/stats        # aggregated FleetStats
 //	curl -s localhost:8639/v1/snapshot -o warm.snap   # warmest replica's container
 //	curl -s localhost:8639/readyz

@@ -13,7 +13,8 @@
 //
 // Then:
 //
-//	curl -s localhost:8640/v1/query -d '{"algorithm":"exactsim","source":42,"k":5}'
+//	curl -s localhost:8640/v1/query -d '{"source":42,"k":5}'            # "auto" plans the method
+//	curl -sN localhost:8640/v1/query/stream -d '{"source":42,"allow_partial":true,"timeout_ms":500}'
 //	curl -s localhost:8640/v1/warm -d '{"top_degree":64}'
 //	curl -s localhost:8640/v1/snapshot -o warm.snap
 //	curl -s localhost:8640/v1/algorithms
@@ -74,8 +75,8 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale in (0,1]")
 		baN        = flag.Int("ba-n", 5000, "fallback generated graph: node count")
 		baK        = flag.Int("ba-k", 4, "fallback generated graph: edges per node")
-		algorithm  = flag.String("algorithm", "exactsim",
-			"default algorithm: "+strings.Join(exactsim.Algorithms(), " | "))
+		algorithm  = flag.String("algorithm", exactsim.AlgorithmAuto,
+			"default algorithm: auto (adaptive planner) | "+strings.Join(exactsim.Algorithms(), " | "))
 		eps         = flag.Float64("eps", 1e-3, "service-wide error target (0 = each algorithm's own default)")
 		seed        = flag.Uint64("seed", 1, "service-wide random seed")
 		workers     = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")

@@ -23,7 +23,11 @@ const (
 	CodeNotFound ErrorCode = "not_found"
 	// CodeDeadlineExceeded is a query cancelled by its deadline
 	// (per-request timeout or the service-wide default). Matches
-	// context.DeadlineExceeded under errors.Is.
+	// context.DeadlineExceeded under errors.Is. Anytime carve-out: a
+	// request that set AllowPartial and completed at least one accuracy
+	// tier before its deadline fired gets a best-so-far Response
+	// (Partial: true) instead of this code — deadline_exceeded then only
+	// means no useful work finished at all.
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 	// CodeCanceled is a query cancelled by its caller. Matches
 	// context.Canceled under errors.Is.

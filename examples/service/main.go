@@ -42,7 +42,7 @@ func main() {
 	// ParSim/ProbeSim where approximate-but-fast is fine. The worker pool
 	// computes them concurrently; responses come back in request order.
 	reqs := []exactsim.Request{
-		{Source: 3, K: 5},                      // default algorithm (exactsim)
+		{Source: 3, K: 5},                      // default algorithm ("auto": the planner picks)
 		{Algorithm: "parsim", Source: 3, K: 5}, // index-free approximation
 		// Sampling baselines want a per-request ε their O(log n/ε²) cost
 		// can afford; distinct ε gets a distinct querier and cache line.
@@ -99,4 +99,31 @@ func main() {
 	fmt.Printf("warmed %d hubs; 8 fresh sources in %v — diag index: %.0f%% hit rate, %d chunks (%d KiB)\n",
 		wr.Warmed, time.Since(start).Round(time.Millisecond),
 		100*st.DiagHitRate, st.DiagChunks, st.DiagResidentBytes>>10)
+
+	// "auto" — the service default when a request names no algorithm —
+	// routes through the adaptive planner: it picks the method from the
+	// graph's shape and the requested (ε, k), and the response's Plan
+	// block records what it chose and why. At defaults the planned answer
+	// is bit-identical to asking for the chosen method explicitly.
+	r := svc.Query(context.Background(), exactsim.Request{Algorithm: exactsim.AlgorithmAuto, Source: 3, K: 5})
+	if r.Err != nil {
+		log.Fatal(r.Err)
+	}
+	fmt.Printf("\nauto planned %s (%s) at ε=%g\n", r.Plan.Algorithm, r.Plan.Reason, r.Plan.EffectiveEpsilon)
+
+	// Anytime serving: QueryStream walks the accuracy-tier ladder
+	// coarse→tight, emitting each tier as it completes (Partial, with the
+	// ε it achieved); the returned terminal response is bit-identical to
+	// the non-streaming answer for the same request.
+	final := svc.QueryStream(context.Background(),
+		exactsim.Request{Source: 29, Epsilon: 1e-3, K: 5},
+		func(ref exactsim.Response) {
+			fmt.Printf("  refinement: ε=%g in %v\n",
+				ref.AchievedEpsilon, ref.Result.QueryTime.Round(time.Microsecond))
+		})
+	if final.Err != nil {
+		log.Fatal(final.Err)
+	}
+	fmt.Printf("stream final: %s at ε=%g, best peer node %d\n",
+		final.Result.Algorithm, final.Request.Epsilon, final.TopK[0].Idx)
 }

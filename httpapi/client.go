@@ -93,6 +93,12 @@ type Client struct {
 	attempts        atomic.Int64
 	retriesSent     atomic.Int64
 	retriesDeclined atomic.Int64
+
+	// algoCache memoizes the /v1/algorithms capability surface (static
+	// registry, slowly drifting cost rows) after the first successful
+	// fetch; see AlgorithmsInfo.
+	algoMu    sync.Mutex
+	algoCache *AlgorithmsResponse
 }
 
 const (
@@ -294,7 +300,7 @@ func (c *Client) TopK(ctx context.Context, source exactsim.NodeID, k int) ([]exa
 // transport and decoding failures only; per-request failures arrive in
 // Response.Err, exactly as they do from a local Service.
 func (c *Client) Query(ctx context.Context, req exactsim.Request) (exactsim.Response, error) {
-	qr := QueryRequest{Request: req, TimeoutMillis: timeoutMillis(ctx)}
+	qr := QueryRequest{Body: req, TimeoutMillis: timeoutMillis(ctx)}
 	var resp exactsim.Response
 	if err := c.post(ctx, "/v1/query", &qr, &resp); err != nil {
 		// A protocol error (non-2xx with a {code, message} envelope)
@@ -318,7 +324,7 @@ func (c *Client) Query(ctx context.Context, req exactsim.Request) (exactsim.Resp
 // Batch sends many requests in one round trip; responses align with
 // requests by index, each carrying its own Err.
 func (c *Client) Batch(ctx context.Context, reqs []exactsim.Request) ([]exactsim.Response, error) {
-	br := BatchRequest{Requests: reqs, TimeoutMillis: timeoutMillis(ctx)}
+	br := BatchRequest{Body: Batch{Requests: reqs}, TimeoutMillis: timeoutMillis(ctx)}
 	var out BatchResponse
 	if err := c.post(ctx, "/v1/batch", &br, &out); err != nil {
 		return nil, err
@@ -332,7 +338,7 @@ func (c *Client) Batch(ctx context.Context, reqs []exactsim.Request) ([]exactsim
 // covers transport failures; a wholesale protocol rejection arrives in
 // WarmResponse.Err.
 func (c *Client) Warm(ctx context.Context, wr exactsim.WarmRequest) (exactsim.WarmResponse, error) {
-	req := WarmRequest{WarmRequest: wr, TimeoutMillis: timeoutMillis(ctx)}
+	req := WarmRequest{Body: wr, TimeoutMillis: timeoutMillis(ctx)}
 	var resp exactsim.WarmResponse
 	if err := c.post(ctx, "/v1/warm", &req, &resp); err != nil {
 		var pe *exactsim.Error
@@ -345,6 +351,70 @@ func (c *Client) Warm(ctx context.Context, wr exactsim.WarmRequest) (exactsim.Wa
 		return exactsim.WarmResponse{}, err
 	}
 	return resp, nil
+}
+
+// QueryStream sends one request to POST /v1/query/stream and invokes
+// emit for each intermediate refinement record (Partial responses, in
+// tightening-epsilon order) as it arrives. The returned Response is the
+// terminal record (final: true) — bit-identical to what Query would have
+// answered for the same request. Streams never retry: refinements may
+// already have reached emit, and replaying them on a re-send would hand
+// the caller the same tiers twice.
+func (c *Client) QueryStream(ctx context.Context, req exactsim.Request, emit func(exactsim.Response)) (exactsim.Response, error) {
+	if emit == nil {
+		emit = func(exactsim.Response) {}
+	}
+	qr := QueryRequest{Body: req, TimeoutMillis: timeoutMillis(ctx)}
+	body, err := json.Marshal(&qr)
+	if err != nil {
+		return exactsim.Response{Request: req},
+			exactsim.Wrapf(exactsim.CodeInvalidArgument, err, "httpapi: encoding /v1/query/stream request")
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query/stream", bytes.NewReader(body))
+	if err != nil {
+		return exactsim.Response{Request: req}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	c.attempts.Add(1)
+	res, err := c.hc.Do(hreq)
+	if err != nil {
+		return exactsim.Response{Request: req}, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode < 200 || res.StatusCode >= 300 {
+		// Nothing streamed yet: the server rejected with the normal JSON
+		// error envelope, which for this endpoint is a Response.
+		data, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		var resp exactsim.Response
+		if json.Unmarshal(data, &resp) == nil && resp.Err != nil {
+			if resp.Request == (exactsim.Request{}) {
+				resp.Request = req
+			}
+			return resp, nil
+		}
+		return exactsim.Response{Request: req},
+			exactsim.Errorf(exactsim.CodeUnavailable, "httpapi: POST /v1/query/stream returned %s", res.Status)
+	}
+	// json.Decoder, not bufio.Scanner: a record carrying a full score
+	// vector can exceed a scanner's token cap, and NDJSON records are
+	// self-delimiting JSON anyway.
+	dec := json.NewDecoder(res.Body)
+	for {
+		var rec StreamRecord
+		if err := dec.Decode(&rec); err != nil {
+			// A stream that ends before its final record is a broken
+			// transport, not an answer — the terminal record is the only
+			// one the protocol guarantees. Wrapf keeps the cause, so a
+			// mid-stream context cancellation still matches errors.Is.
+			return exactsim.Response{Request: req},
+				exactsim.Wrapf(exactsim.CodeUnavailable, err, "httpapi: /v1/query/stream ended before the final record")
+		}
+		if rec.Final {
+			c.earnRetryToken()
+			return rec.Response, nil
+		}
+		emit(rec.Response)
+	}
 }
 
 // Snapshot downloads the server's current graph generation as a
@@ -384,10 +454,30 @@ func (c *Client) Snapshot(ctx context.Context, w io.Writer) (n int64, epoch uint
 	return n, epoch, nil
 }
 
-// Algorithms returns the server's registry names and default algorithm.
-func (c *Client) Algorithms(ctx context.Context) (names []string, def string, err error) {
+// AlgorithmsInfo returns the server's full capability/cost surface
+// (GET /v1/algorithms), memoized after the first successful fetch: the
+// registry is static and the cost rows drift only slowly, so one round
+// trip per client amortizes across every later planning decision. Build
+// a fresh Client to re-read.
+func (c *Client) AlgorithmsInfo(ctx context.Context) (AlgorithmsResponse, error) {
+	c.algoMu.Lock()
+	defer c.algoMu.Unlock()
+	if c.algoCache != nil {
+		return *c.algoCache, nil
+	}
 	var ar AlgorithmsResponse
 	if err := c.get(ctx, "/v1/algorithms", &ar); err != nil {
+		return AlgorithmsResponse{}, err
+	}
+	c.algoCache = &ar
+	return ar, nil
+}
+
+// Algorithms returns the server's registry names and default algorithm
+// (a subset of AlgorithmsInfo, sharing its cache).
+func (c *Client) Algorithms(ctx context.Context) (names []string, def string, err error) {
+	ar, err := c.AlgorithmsInfo(ctx)
+	if err != nil {
 		return nil, "", err
 	}
 	return ar.Algorithms, ar.Default, nil

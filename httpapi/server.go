@@ -64,6 +64,7 @@ func NewServer(svc *exactsim.Service, opts ServerOptions) *Server {
 	opts.normalize()
 	s := &Server{svc: svc, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/warm", s.handleWarm)
 	// Registered for both verbs: semantically it is a download (GET, and
@@ -137,11 +138,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Expired on arrival (a sub-millisecond wire budget, or a caller gone
 	// before decode finished): answer without touching the worker pool.
 	if e := expiredOnArrival(ctx); e != nil {
-		writeJSON(w, StatusOf(e), exactsim.Response{Request: qr.Request, Err: e})
+		writeJSON(w, StatusOf(e), exactsim.Response{Request: qr.Body, Err: e})
 		return
 	}
-	resp := s.svc.Query(ctx, qr.Request)
+	resp := s.svc.Query(ctx, qr.Body)
 	writeJSON(w, StatusOf(resp.Err), resp)
+}
+
+// handleQueryStream answers one query as NDJSON refinement records
+// (application/x-ndjson): intermediate accuracy tiers as they complete,
+// then the terminal record flagged "final" — bit-identical to what the
+// non-streaming endpoint would have answered. The 200 status commits
+// before computation starts, so errors after the first byte travel in
+// the terminal record's error field, not the status line.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var qr QueryRequest
+	if e := s.decode(w, r, &qr); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), qr.TimeoutMillis)
+	defer cancel()
+	if e := expiredOnArrival(ctx); e != nil {
+		writeJSON(w, StatusOf(e), exactsim.Response{Request: qr.Body, Err: e})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	// QueryStream calls emit sequentially from a worker goroutine and
+	// only returns after the last call, so the encoder is never written
+	// concurrently.
+	resp := s.svc.QueryStream(ctx, qr.Body, func(refinement exactsim.Response) {
+		enc.Encode(StreamRecord{Response: refinement})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	enc.Encode(StreamRecord{Response: resp, Final: true})
 }
 
 // expiredOnArrival reports a context already dead at tier entry as the
@@ -161,9 +196,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
 		return
 	}
-	if s.opts.MaxBatch > 0 && len(br.Requests) > s.opts.MaxBatch {
+	if s.opts.MaxBatch > 0 && len(br.Body.Requests) > s.opts.MaxBatch {
 		e := exactsim.Errorf(exactsim.CodeInvalidArgument,
-			"httpapi: batch of %d exceeds the server bound %d", len(br.Requests), s.opts.MaxBatch)
+			"httpapi: batch of %d exceeds the server bound %d", len(br.Body.Requests), s.opts.MaxBatch)
 		writeJSON(w, StatusOf(e), exactsim.Response{Err: e})
 		return
 	}
@@ -175,7 +210,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Per-request failures live inside each Response; the batch call
 	// itself is a 200.
-	writeJSON(w, http.StatusOK, BatchResponse{Responses: s.svc.Batch(ctx, br.Requests)})
+	writeJSON(w, http.StatusOK, BatchResponse{Responses: s.svc.Batch(ctx, br.Body.Requests)})
 }
 
 func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
@@ -189,9 +224,9 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 	// mirrors Service.Warm's source resolution: explicit Sources win,
 	// otherwise TopDegree, otherwise the service's default hub count.
 	if s.opts.MaxBatch > 0 {
-		fanout := len(wr.Sources)
+		fanout := len(wr.Body.Sources)
 		if fanout == 0 {
-			fanout = wr.TopDegree
+			fanout = wr.Body.TopDegree
 			if fanout <= 0 {
 				fanout = exactsim.DefaultWarmTopDegree
 			}
@@ -209,7 +244,7 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, StatusOf(e), exactsim.WarmResponse{Err: e})
 		return
 	}
-	resp := s.svc.Warm(ctx, wr.WarmRequest)
+	resp := s.svc.Warm(ctx, wr.Body)
 	writeJSON(w, StatusOf(resp.Err), resp)
 }
 
@@ -258,9 +293,25 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	// Static registry caps joined with the live planner's calibrated cost
+	// rows — the introspection surface remote planners decide from.
+	estimates := make(map[string]exactsim.PlanEstimate)
+	for _, e := range s.svc.PlanEstimates() {
+		estimates[e.Name] = e
+	}
+	caps := exactsim.AlgorithmCaps()
+	methods := make([]MethodInfo, 0, len(caps))
+	for _, c := range caps {
+		mi := MethodInfo{MethodCaps: c}
+		if e, ok := estimates[c.Name]; ok {
+			mi.CostUnits, mi.CostNanos = e.Units, e.Nanos
+		}
+		methods = append(methods, mi)
+	}
 	writeJSON(w, http.StatusOK, AlgorithmsResponse{
 		Algorithms: exactsim.Algorithms(),
 		Default:    s.svc.DefaultAlgorithm(),
+		Methods:    methods,
 	})
 }
 

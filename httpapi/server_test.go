@@ -246,7 +246,7 @@ func TestHTTPAlgorithmsStatsHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if def != "exactsim" {
+	if def != exactsim.AlgorithmAuto {
 		t.Fatalf("default algorithm %q", def)
 	}
 	want := exactsim.Algorithms()

@@ -1,0 +1,76 @@
+package algo
+
+// Exactness classifies what an algorithm's answer promises. The planner
+// (internal/plan) and the /v1/algorithms capability surface both key off
+// this: "auto" may only substitute within or above a request's implied
+// class, never below it.
+type Exactness string
+
+const (
+	// ExactnessExact: the answer is exact up to float rounding (power
+	// iteration run to numerical fixpoint).
+	ExactnessExact Exactness = "exact"
+	// ExactnessErrorBounded: the answer carries a proven additive error
+	// bound of Epsilon (ExactSim's high-probability guarantee, the
+	// linearization/PRSim/ProbeSim bounds).
+	ExactnessErrorBounded Exactness = "error_bounded"
+	// ExactnessHeuristic: no per-answer error bound — accuracy is
+	// empirical (plain Monte Carlo, ParSim's truncated iteration).
+	ExactnessHeuristic Exactness = "heuristic"
+)
+
+// Caps describes one registered algorithm's capabilities — the static
+// half of the planner's knowledge (the dynamic half is the calibrated
+// cost model). All fields are wire-stable: httpapi serializes them on
+// GET /v1/algorithms.
+type Caps struct {
+	// Name is the registry name.
+	Name string `json:"name"`
+	// SupportsTopK: every registered method computes a full single-source
+	// vector, so top-k extraction is always available; kept explicit so a
+	// future partial-vector method can say no.
+	SupportsTopK bool `json:"supports_topk"`
+	// IndexBacked reports whether the querier builds a reusable index at
+	// construction time (first query pays the build; later queries are
+	// cheap). Index-free methods pay per query.
+	IndexBacked bool `json:"index_backed"`
+	// Exactness is the accuracy class of the answers.
+	Exactness Exactness `json:"exactness"`
+	// ErrorDriven reports whether Epsilon controls the method's work (and
+	// thus whether an accuracy-tier ladder coarse→target is meaningful).
+	// False for methods whose cost ignores Epsilon (mc, parsim,
+	// powermethod).
+	ErrorDriven bool `json:"error_driven"`
+}
+
+// caps is the static capability table, one row per registered algorithm.
+// IndexBacked mirrors which adapters implement Index in adapters.go.
+var caps = map[string]Caps{
+	"exactsim":       {Name: "exactsim", SupportsTopK: true, IndexBacked: false, Exactness: ExactnessErrorBounded, ErrorDriven: true},
+	"exactsim-basic": {Name: "exactsim-basic", SupportsTopK: true, IndexBacked: false, Exactness: ExactnessErrorBounded, ErrorDriven: true},
+	"mc":             {Name: "mc", SupportsTopK: true, IndexBacked: true, Exactness: ExactnessHeuristic, ErrorDriven: false},
+	"parsim":         {Name: "parsim", SupportsTopK: true, IndexBacked: false, Exactness: ExactnessHeuristic, ErrorDriven: false},
+	"linearization":  {Name: "linearization", SupportsTopK: true, IndexBacked: true, Exactness: ExactnessErrorBounded, ErrorDriven: true},
+	"prsim":          {Name: "prsim", SupportsTopK: true, IndexBacked: true, Exactness: ExactnessErrorBounded, ErrorDriven: true},
+	"probesim":       {Name: "probesim", SupportsTopK: true, IndexBacked: false, Exactness: ExactnessErrorBounded, ErrorDriven: true},
+	"powermethod":    {Name: "powermethod", SupportsTopK: true, IndexBacked: true, Exactness: ExactnessExact, ErrorDriven: false},
+}
+
+// Describe returns the capability row for a registered algorithm name.
+func Describe(name string) (Caps, bool) {
+	c, ok := caps[name]
+	return c, ok
+}
+
+// AllCaps returns the capability rows in registry-name order (the order
+// Names returns), so wire surfaces stay deterministic.
+func AllCaps() []Caps {
+	names := Names()
+	out := make([]Caps, 0, len(names))
+	for _, n := range names {
+		if c, ok := caps[n]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -136,6 +136,21 @@ func (c *Config) validate() error {
 // Option customizes a Config built by New.
 type Option func(*Config)
 
+// Resolve applies opts over the defaults and validates, returning the
+// effective Config without constructing a querier. The serving layer uses
+// it to learn the base epsilon (and reject bad option sets early) that
+// the query planner's decisions are anchored to.
+func Resolve(opts ...Option) (Config, error) {
+	cfg := defaults()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
 // WithC sets the SimRank decay factor (paper: 0.6).
 func WithC(c float64) Option { return func(cfg *Config) { cfg.C = c } }
 

@@ -1,11 +1,13 @@
 // Package shedpath enforces the overload-answer contract on the serving
 // surface: a function implementing a shed, drop, CoDel, or brownout
-// decision must stamp every Response it builds — either a coded
-// *exactsim.Error (the shed/drop case) or the Degraded flag (the
-// brownout case). A bare success-shaped Response escaping an overload
-// path is the worst kind of overload bug: the caller sees a normal
-// answer with no scores and no error, retries nothing, degrades
-// nothing, and the taxonomy (DESIGN §5, §12) silently ends there.
+// decision must stamp every Response it builds — a coded
+// *exactsim.Error (the shed/drop case), the Degraded flag (the
+// brownout case), or the Partial flag (the anytime best-so-far case,
+// where a deadline-capped ladder answers with the accuracy it reached).
+// A bare success-shaped Response escaping an overload path is the worst
+// kind of overload bug: the caller sees a normal answer with no scores
+// and no error, retries nothing, degrades nothing, and the taxonomy
+// (DESIGN §5, §12, §13) silently ends there.
 //
 // Detection is structural (fixtures cannot import the module): inside
 // the coded-error package set, any function whose name mentions an
@@ -28,9 +30,10 @@ var Analyzer = &analysis.Analyzer{
 	Name: "shedpath",
 	Doc: "require overload paths to stamp their Responses\n\n" +
 		"In the exactsim, httpapi and cluster packages, functions implementing shed,\n" +
-		"drop, CoDel or brownout decisions must not build a Response that sets neither\n" +
-		"Err nor Degraded: an unstamped answer leaving an overload path loses both the\n" +
-		"retryable error taxonomy and the degradation marker at once.",
+		"drop, CoDel or brownout decisions must not build a Response that sets none of\n" +
+		"Err, Degraded or Partial: an unstamped answer leaving an overload path loses\n" +
+		"the retryable error taxonomy, the degradation marker and the best-so-far\n" +
+		"marker at once.",
 	Run: run,
 }
 
@@ -69,7 +72,7 @@ func checkFunc(pass *analysis.Pass, sup *lint.Suppressor, fd *ast.FuncDecl) {
 		if name == "" || stamped(cl) || positional(cl) || sup.Suppressed(cl.Pos()) {
 			return true
 		}
-		pass.Reportf(cl.Pos(), "overload path %s builds a %s with neither Err nor Degraded set; a shed or degraded answer must carry a coded *exactsim.Error or the Degraded flag", fd.Name.Name, name)
+		pass.Reportf(cl.Pos(), "overload path %s builds a %s with none of Err, Degraded or Partial set; a shed, degraded or best-so-far answer must carry a coded *exactsim.Error, the Degraded flag or the Partial flag", fd.Name.Name, name)
 		return true
 	})
 }
@@ -94,14 +97,16 @@ func responseTypeName(t ast.Expr) string {
 	return ""
 }
 
-// stamped reports whether the literal sets an Err or Degraded field.
+// stamped reports whether the literal sets an Err, Degraded or Partial
+// field — Partial marks the anytime best-so-far answer a deadline-capped
+// ladder returns instead of a bare deadline_exceeded.
 func stamped(cl *ast.CompositeLit) bool {
 	for _, elt := range cl.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
 			continue
 		}
-		if key, ok := kv.Key.(*ast.Ident); ok && (key.Name == "Err" || key.Name == "Degraded") {
+		if key, ok := kv.Key.(*ast.Ident); ok && (key.Name == "Err" || key.Name == "Degraded" || key.Name == "Partial") {
 			return true
 		}
 	}

@@ -10,6 +10,7 @@ type Request struct{ Source int }
 type Response struct {
 	Request  Request
 	Degraded bool
+	Partial  bool
 	Err      *Error
 }
 
@@ -21,18 +22,18 @@ type WarmResponse struct {
 // Seeded violation: a shed path answering with a bare success-shaped
 // Response — no coded error, no degradation marker.
 func shedQuery(req Request) Response {
-	return Response{Request: req} // want "overload path shedQuery builds a Response with neither Err nor Degraded set"
+	return Response{Request: req} // want "overload path shedQuery builds a Response with none of Err, Degraded or Partial set"
 }
 
 // Seeded violation: the zero literal is just as unstamped.
 func dropOldest() Response {
-	return Response{} // want "overload path dropOldest builds a Response with neither Err nor Degraded set"
+	return Response{} // want "overload path dropOldest builds a Response with none of Err, Degraded or Partial set"
 }
 
 // Seeded violation: closures inside an overload path are part of it.
 func codelLoop(req Request) func() Response {
 	return func() Response {
-		return Response{Request: req} // want "overload path codelLoop builds a Response with neither Err nor Degraded set"
+		return Response{Request: req} // want "overload path codelLoop builds a Response with none of Err, Degraded or Partial set"
 	}
 }
 
@@ -53,9 +54,15 @@ func brownoutAnswer(req Request) Response {
 	return Response{Request: req, Degraded: true}
 }
 
+// Near-miss: an anytime best-so-far answer — a deadline-capped ladder
+// dropping out with the accuracy it reached — carries the Partial flag.
+func dropToBestSoFar(req Request) Response {
+	return Response{Request: req, Partial: true}
+}
+
 // Seeded violation: WarmResponse is a wire response too.
 func degradeWarm() WarmResponse {
-	return WarmResponse{Warmed: 1} // want "overload path degradeWarm builds a WarmResponse with neither Err nor Degraded set"
+	return WarmResponse{Warmed: 1} // want "overload path degradeWarm builds a WarmResponse with none of Err, Degraded or Partial set"
 }
 
 // Near-miss: functions outside the overload vocabulary build bare
@@ -67,7 +74,7 @@ func respond(req Request) Response {
 // Near-miss: positional literals can only compile by filling every
 // field, Err included.
 func shedPositional(req Request) Response {
-	return Response{req, false, &Error{Code: "unavailable"}}
+	return Response{req, false, false, &Error{Code: "unavailable"}}
 }
 
 // Near-miss: the escape hatch, with its mandatory justification.
@@ -81,7 +88,7 @@ func shedTemplate(req Request) Response {
 // Seeded violation: a bare directive is no justification.
 func dropTemplate(req Request) Response {
 	//lint:shed-ok // want "directive needs a justification string"
-	return Response{Request: req} // want "overload path dropTemplate builds a Response with neither Err nor Degraded set"
+	return Response{Request: req} // want "overload path dropTemplate builds a Response with none of Err, Degraded or Partial set"
 }
 
 // Near-miss: non-response types are out of scope even in overload paths.

@@ -360,6 +360,17 @@ func (q *serviceQueue) retryAfterMillis() int64 {
 	return ms
 }
 
+// expectedDwell is the planner's queue-pressure input: the smoothed
+// sojourn a newly admitted job should expect to wait before a worker
+// touches it. Flexible "auto" plans charge it against the request's
+// deadline budget, so a request arriving behind a standing backlog is
+// planned as if its deadline were already that much shorter.
+func (q *serviceQueue) expectedDwell() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sojournEWMA
+}
+
 // depth reports the queued job count.
 func (q *serviceQueue) depth() int {
 	q.mu.Lock()

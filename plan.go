@@ -1,0 +1,107 @@
+package exactsim
+
+import (
+	"time"
+
+	"github.com/exactsim/exactsim/internal/algo"
+	"github.com/exactsim/exactsim/internal/plan"
+)
+
+// AlgorithmAuto routes a request through the adaptive query planner
+// (internal/plan): the service picks the cheapest registered method whose
+// guarantees cover the request's (epsilon, k) — and, for requests that
+// opted into partial or degraded answers, its deadline budget — then
+// echoes the choice in Response.Plan. It is the service default.
+//
+// Determinism carve-out (DESIGN §13): a request that sets neither
+// AllowPartial nor AllowDegraded is planned by a pure function of
+// (epsilon, k) and epoch-static graph statistics, so "auto" answers
+// bit-identically to the concrete method it reports, on every same-epoch
+// replica.
+const AlgorithmAuto = "auto"
+
+// PlanInfo is the audit block an "auto"-routed Response carries: what the
+// planner chose and why. Cache lines are keyed under the *planned*
+// algorithm and epsilon, so two requests planned alike share an answer.
+type PlanInfo struct {
+	// Algorithm is the concrete registry method the planner selected.
+	Algorithm string `json:"algorithm"`
+	// EffectiveEpsilon is the error target the plan runs at, with the 0
+	// "service default" sentinel resolved to its actual value.
+	EffectiveEpsilon float64 `json:"effective_epsilon"`
+	// Reason is the planner's enumerated explanation (tight-epsilon,
+	// large-power-law, large-flat, small-graph-default,
+	// deadline-downgrade, deadline-loosen).
+	Reason string `json:"reason"`
+}
+
+// MethodCaps describes one registered algorithm's capabilities — the
+// static half of the /v1/algorithms capability surface.
+type MethodCaps = algo.Caps
+
+// Exactness classifies what a method's answers promise (exact,
+// error_bounded, heuristic).
+type Exactness = algo.Exactness
+
+// Exactness classes, re-exported from the registry.
+const (
+	ExactnessExact        = algo.ExactnessExact
+	ExactnessErrorBounded = algo.ExactnessErrorBounded
+	ExactnessHeuristic    = algo.ExactnessHeuristic
+)
+
+// DescribeAlgorithm returns the capability row for a registered name.
+func DescribeAlgorithm(name string) (MethodCaps, bool) { return algo.Describe(name) }
+
+// AlgorithmCaps returns every registered method's capability row in
+// registry order.
+func AlgorithmCaps() []MethodCaps { return algo.AllCaps() }
+
+// PlanEstimate is one method's calibrated cost row: the planner's work
+// units at the service's base epsilon and their latency estimate on this
+// machine (microprobe-calibrated, refined by observed query latencies).
+type PlanEstimate = plan.CostEstimate
+
+// PlanEstimates returns the current graph generation's calibrated
+// per-method cost rows — the dynamic half of the capability surface.
+func (s *Service) PlanEstimates() []PlanEstimate {
+	return s.state.Load().planner.Estimates()
+}
+
+// resolvePlan routes an AlgorithmAuto request through st's planner and
+// rewrites it to the concrete plan. Strict requests (neither AllowPartial
+// nor AllowDegraded) use the pure decision path; flexible ones also weigh
+// the remaining deadline, expected queue dwell and diag-index residency.
+// The request's 0-epsilon sentinel survives when the plan keeps it, so
+// planned answers share cache lines with explicit requests.
+func (s *Service) resolvePlan(ctx deadliner, st *graphState, req Request) (Request, *PlanInfo) {
+	in := plan.Input{
+		Epsilon:  req.Epsilon,
+		K:        req.K,
+		Flexible: req.AllowPartial || req.AllowDegraded,
+	}
+	if in.Flexible {
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				in.Deadline = rem
+			}
+		}
+		in.QueueDwell = s.queue.expectedDwell()
+		in.PriorityRank, _ = req.Priority.rank()
+		if st.diagIdx != nil {
+			in.DiagResidentBytes = st.diagIdx.Stats().ResidentBytes
+		}
+	}
+	d := st.planner.Plan(in)
+	req.Algorithm = d.Algorithm
+	req.Epsilon = d.Epsilon
+	return req, &PlanInfo{
+		Algorithm:        d.Algorithm,
+		EffectiveEpsilon: st.planner.Effective(d.Epsilon),
+		Reason:           d.Reason,
+	}
+}
+
+// deadliner is the slice of context.Context resolvePlan needs; the
+// narrow interface keeps the planner testable without contexts.
+type deadliner interface{ Deadline() (time.Time, bool) }

@@ -1,0 +1,62 @@
+package exactsim_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	exactsim "github.com/exactsim/exactsim"
+)
+
+// BenchmarkDeadlineStress measures the anytime-serving contract under
+// deadline pressure: opted-in (AllowPartial) queries at a tight target
+// epsilon, capped at three deadline tiers. Per tier it reports
+// partial_rate (the query returned a best-so-far answer), full_rate
+// (the ladder finished inside the deadline) and deadline_exceeded_rate
+// (nothing answerable before expiry). The serving promise of PR 10 is
+// that the middle tiers convert what used to be bare deadline_exceeded
+// errors into Partial answers — partial_rate is the payoff and
+// deadline_exceeded_rate the residual.
+func BenchmarkDeadlineStress(b *testing.B) {
+	g := exactsim.GenerateBarabasiAlbert(1_500, 4, 1)
+	svc, err := exactsim.NewService(g, exactsim.ServiceOptions{
+		Workers:        2,
+		QuerierOptions: []exactsim.QuerierOption{exactsim.WithEpsilon(0.01), exactsim.WithSeed(1)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	for _, deadline := range []time.Duration{2 * time.Millisecond, 20 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(fmt.Sprintf("deadline=%s", deadline), func(b *testing.B) {
+			var partial, full, exceeded int
+			for i := 0; b.Loop(); i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				resp := svc.Query(ctx, exactsim.Request{
+					Source:       exactsim.NodeID(i % g.N()),
+					Epsilon:      1e-4,
+					K:            10,
+					AllowPartial: true,
+					NoCache:      true,
+				})
+				cancel()
+				switch {
+				case resp.Partial:
+					partial++
+				case resp.Err == nil:
+					full++
+				case resp.Err.Code == exactsim.CodeDeadlineExceeded:
+					exceeded++
+				default:
+					b.Fatalf("unexpected outcome: %+v", resp.Err)
+				}
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(partial)/n, "partial_rate")
+			b.ReportMetric(float64(full)/n, "full_rate")
+			b.ReportMetric(float64(exceeded)/n, "deadline_exceeded_rate")
+		})
+	}
+}

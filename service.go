@@ -12,6 +12,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/exactsim/exactsim/internal/algo"
+	"github.com/exactsim/exactsim/internal/plan"
 )
 
 // ErrServiceClosed is returned by Query and Batch after Close (as a
@@ -41,7 +44,10 @@ type ServiceOptions struct {
 	// structures are immutable). 0 selects 64.
 	MaxQueriers int
 	// DefaultAlgorithm answers requests with an empty Algorithm field.
-	// Empty selects "exactsim".
+	// Empty selects AlgorithmAuto: the adaptive planner picks the
+	// cheapest registered method whose guarantees cover the request (the
+	// Response.Plan block shows the choice). Name a concrete algorithm to
+	// pin every defaulted request to it instead.
 	DefaultAlgorithm string
 	// DefaultTimeout, when positive, bounds every query that has no
 	// earlier deadline of its own; exceeding it surfaces as
@@ -112,7 +118,7 @@ func (o *ServiceOptions) normalize() {
 		o.MaxQueriers = 64
 	}
 	if o.DefaultAlgorithm == "" {
-		o.DefaultAlgorithm = "exactsim"
+		o.DefaultAlgorithm = AlgorithmAuto
 	}
 	if o.QueueTarget == 0 {
 		o.QueueTarget = defaultQueueTarget
@@ -160,6 +166,15 @@ type Request struct {
 	// do not opt in are never degraded — their answers stay bit-exact
 	// under any load.
 	AllowDegraded bool `json:"allow_degraded,omitempty"`
+	// AllowPartial opts this request into anytime serving: the worker
+	// evaluates an accuracy-tier ladder (coarse→target epsilon) with
+	// deadline checkpoints, and a deadline that fires mid-refinement
+	// returns the best answer so far (Response.Partial, with the achieved
+	// epsilon reported) instead of deadline_exceeded. It also lets an
+	// "auto" plan weigh the remaining deadline budget. Requests that do
+	// not opt in keep the strict contract: the target accuracy or a
+	// coded error, nothing between.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // Response carries one request's outcome. Err is per-request and
@@ -188,6 +203,22 @@ type Response struct {
 	// echoed Request shows which). Never set on requests that did not
 	// opt in.
 	Degraded bool `json:"degraded,omitempty"`
+	// Plan is the planner's audit block, present exactly when the request
+	// was routed through AlgorithmAuto: the concrete method chosen, the
+	// effective epsilon it ran at, and the enumerated decision reason.
+	// The echoed Request carries the planned algorithm, so the answer is
+	// cached — and deduplicated — under the planned key.
+	Plan *PlanInfo `json:"plan,omitempty"`
+	// Partial marks a best-so-far answer: the request set AllowPartial,
+	// its deadline fired mid-refinement, and Result holds the coarsest
+	// completed tier instead of the target. AchievedEpsilon reports the
+	// error bound actually met. Intermediate records of a streaming query
+	// are Partial too — only the terminal record is the full answer.
+	Partial bool `json:"partial,omitempty"`
+	// AchievedEpsilon is the error target Result actually satisfies; set
+	// only on Partial responses (a full answer achieves the requested
+	// target by definition).
+	AchievedEpsilon float64 `json:"achieved_epsilon,omitempty"`
 	// Err is the per-request error, nil on success. Cancelled queries
 	// report CodeCanceled/CodeDeadlineExceeded (matching the context
 	// sentinels under errors.Is).
@@ -282,6 +313,11 @@ type ServiceStats struct {
 	DegradedQueries    int64 `json:"degraded_queries"`
 	BrownoutActive     bool  `json:"brownout_active"`
 	QueueSojournMicros int64 `json:"queue_sojourn_us"`
+	// Planner gauges. AutoPlanned counts requests routed through
+	// AlgorithmAuto; PartialResults counts best-so-far answers served at
+	// a deadline (AllowPartial requests whose ladder was cut short).
+	AutoPlanned    int64 `json:"auto_planned"`
+	PartialResults int64 `json:"partial_results"`
 	// PanicsRecovered counts panics contained by recover() instead of
 	// killing the process — worker panics, querier-build panics, and (in
 	// the HTTP servers' view of this struct) handler panics. Nonzero
@@ -302,6 +338,11 @@ type graphState struct {
 	g       *Graph
 	epoch   uint64
 	diagIdx *DiagSampleIndex // nil when DiagIndexBytes < 0
+	// planner is this generation's adaptive query planner: the cost
+	// model is calibrated against this epoch's graph stats, so — like
+	// the diag index — a plan can only ever be made from the generation
+	// the query captured.
+	planner *plan.Planner
 }
 
 // Service is a concurrent SimRank query front-end over a live graph: a
@@ -392,6 +433,16 @@ type Service struct {
 	deadlineRejected atomic.Int64
 	degradedQueries  atomic.Int64
 
+	// autoPlanned counts requests routed through AlgorithmAuto;
+	// partialResults counts best-so-far answers served at a deadline.
+	autoPlanned    atomic.Int64
+	partialResults atomic.Int64
+
+	// baseEpsilon is the effective service-wide error target resolved
+	// from QuerierOptions at construction — the value the planner's
+	// decisions (and the 0-epsilon request sentinel) are anchored to.
+	baseEpsilon float64
+
 	// panics counts worker/build panics contained by recover(); lastPanic
 	// keeps the most recent one's headline + stack for diagnosis. A panic
 	// inside an algorithm must cost one CodeInternal response, never the
@@ -433,6 +484,11 @@ type serviceJob struct {
 	st   *graphState
 	req  Request
 	resp chan Response
+	// emit, when non-nil, receives each intermediate refinement of an
+	// anytime (tier-ladder) evaluation, on the worker goroutine, before
+	// the final answer lands on resp. The submitter must keep waiting on
+	// resp unconditionally — it owns whatever emit writes to.
+	emit func(Response)
 	// pri is the validated queue class (Priority.rank); enq timestamps
 	// admission, feeding sojourn accounting and CoDel; deadline records
 	// whether ctx bounds the wait — only deadline-bearing jobs are
@@ -456,9 +512,16 @@ func newService(g *Graph, opts ServiceOptions, restoredIdx *DiagSampleIndex) (*S
 		return nil, Errorf(CodeInvalidArgument, "exactsim: nil graph")
 	}
 	opts.normalize()
-	if !KnownAlgorithm(opts.DefaultAlgorithm) {
-		return nil, Errorf(CodeNotFound, "exactsim: unknown default algorithm %q (have %v)",
+	if opts.DefaultAlgorithm != AlgorithmAuto && !KnownAlgorithm(opts.DefaultAlgorithm) {
+		return nil, Errorf(CodeNotFound, "exactsim: unknown default algorithm %q (have auto, %v)",
 			opts.DefaultAlgorithm, Algorithms())
+	}
+	// Resolve the effective base config once: bad querier options fail
+	// the constructor instead of every first query, and the planner
+	// learns the base epsilon its decisions anchor to.
+	baseCfg, err := algo.Resolve(opts.QuerierOptions...)
+	if err != nil {
+		return nil, Errorf(CodeInvalidArgument, "exactsim: %v", err)
 	}
 	// The ladder is part of answer semantics (a degraded response follows
 	// it), so it is validated like the default algorithm and copied so a
@@ -485,6 +548,7 @@ func newService(g *Graph, opts ServiceOptions, restoredIdx *DiagSampleIndex) (*S
 		queriers:      make(map[querierKey]*querierSlot),
 		inflight:      make(map[cacheKey]*flight),
 		cache:         newResultCache(opts.CacheSize),
+		baseEpsilon:   baseCfg.Epsilon,
 	}
 	s.queue = newServiceQueue(opts.QueueDepth, opts.QueueTarget, opts.QueueWindow, s.dropJob)
 	st := s.newState(g, 1)
@@ -502,7 +566,7 @@ func newService(g *Graph, opts ServiceOptions, restoredIdx *DiagSampleIndex) (*S
 // newState assembles one graph generation, with its own empty diagonal
 // sample index when indexing is enabled.
 func (s *Service) newState(g *Graph, epoch uint64) *graphState {
-	st := &graphState{g: g, epoch: epoch}
+	st := &graphState{g: g, epoch: epoch, planner: plan.New(g, s.baseEpsilon)}
 	if s.opts.DiagIndexBytes >= 0 {
 		st.diagIdx = NewDiagSampleIndex(s.opts.DiagIndexBytes)
 	}
@@ -569,7 +633,22 @@ func (s *Service) Update(g *Graph) (uint64, error) {
 // live inside the algorithm's iteration loops, so a timeout interrupts
 // even a single long-running ExactSim query mid-computation.
 func (s *Service) Query(ctx context.Context, req Request) Response {
-	resp := s.query(ctx, req)
+	resp := s.query(ctx, req, nil)
+	s.count(resp)
+	return resp
+}
+
+// QueryStream answers one request as a refinement sequence: emit receives
+// each intermediate accuracy tier (Partial responses, coarse→target,
+// called sequentially on a worker goroutine before QueryStream returns),
+// and the returned Response is the terminal record — bit-identical to
+// what Query would have answered for the same request. Cache hits and
+// non-error-driven algorithms skip straight to the terminal record.
+func (s *Service) QueryStream(ctx context.Context, req Request, emit func(Response)) Response {
+	if emit == nil {
+		emit = func(Response) {}
+	}
+	resp := s.query(ctx, req, emit)
 	s.count(resp)
 	return resp
 }
@@ -584,7 +663,7 @@ func (s *Service) count(resp Response) {
 	}
 }
 
-func (s *Service) query(ctx context.Context, req Request) Response {
+func (s *Service) query(ctx context.Context, req Request, emit func(Response)) Response {
 	// Reject before the cache lookup: a closed service answers nothing,
 	// not even cached results.
 	s.closeMu.RLock()
@@ -594,38 +673,24 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 	if closed {
 		return s.fail(st, req, ToError(ErrServiceClosed))
 	}
-	if req.Algorithm == "" {
-		req.Algorithm = s.opts.DefaultAlgorithm
+	if err := s.normalizeRequest(&req, st); err != nil {
+		return s.fail(st, req, err)
 	}
-	if !KnownAlgorithm(req.Algorithm) {
-		return s.fail(st, req, Errorf(CodeNotFound,
-			"exactsim: unknown algorithm %q (have %v)", req.Algorithm, Algorithms()))
-	}
-	if req.K < 0 {
-		return s.fail(st, req, Errorf(CodeInvalidArgument, "exactsim: negative k %d", req.K))
-	}
-	if req.Source < 0 || int(req.Source) >= st.g.N() {
-		return s.fail(st, req, Errorf(CodeInvalidArgument,
-			"exactsim: source %d out of range [0,%d)", req.Source, st.g.N()))
-	}
-	// Epsilon is part of the querier and cache keys, so screen it here:
-	// a NaN key would never match itself and leak a querier slot per
-	// request (0 is the "service default" sentinel).
-	if math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) ||
-		req.Epsilon < 0 || req.Epsilon >= 1 {
-		return s.fail(st, req, Errorf(CodeInvalidArgument,
-			"exactsim: epsilon %g outside (0,1) (0 = service default)", req.Epsilon))
-	}
-	if _, ok := req.Priority.rank(); !ok {
-		return s.fail(st, req, Errorf(CodeInvalidArgument,
-			"exactsim: unknown priority %q (have %q, %q, %q)",
-			req.Priority, PriorityInteractive, PriorityBatch, PriorityBackground))
+
+	// AlgorithmAuto routes through the planner: the request is rewritten
+	// to the concrete method + epsilon the plan selected, so every later
+	// stage (brownout, cache key, single-flight, dispatch) operates on
+	// the planned key and two alike-planned requests share one answer.
+	var planned *PlanInfo
+	if req.Algorithm == AlgorithmAuto {
+		req, planned = s.resolvePlan(ctx, st, req)
+		s.autoPlanned.Add(1)
 	}
 
 	var degraded bool
 	if req.NoCache {
 		req, degraded = s.maybeDegrade(req)
-		return s.markDegraded(s.dispatch(ctx, st, req), degraded)
+		return stampPlan(s.markDegraded(s.dispatch(ctx, st, req, emit), degraded), planned)
 	}
 
 	// Cacheable path: cache lookup, then request-level single-flight —
@@ -640,46 +705,98 @@ func (s *Service) query(ctx context.Context, req Request) Response {
 	// miss. Degradation rewrites the plan fields, so key, cache line and
 	// single-flight all operate on the plan actually computed.
 	if res, ok := s.cache.get(key); ok {
-		return s.respond(st, req, res, true)
+		return stampPlan(s.respond(st, req, res, true), planned)
 	}
 	if req, degraded = s.maybeDegrade(req); degraded {
 		key = cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
 			source: req.Source, epsilon: req.Epsilon}
 	}
+	if emit != nil {
+		// Streaming requests want the refinement sequence, which another
+		// leader's single answer cannot provide — they bypass the
+		// single-flight (the cache pre-check above still short-circuits
+		// warm keys straight to the terminal record).
+		return stampPlan(s.markDegraded(s.dispatch(ctx, st, req, emit), degraded), planned)
+	}
 	for {
 		if res, ok := s.cache.get(key); ok {
-			return s.markDegraded(s.respond(st, req, res, true), degraded)
+			return stampPlan(s.markDegraded(s.respond(st, req, res, true), degraded), planned)
 		}
 		s.flightMu.Lock()
 		if f, ok := s.inflight[key]; ok {
 			s.flightMu.Unlock()
 			select {
 			case <-f.done:
-				if f.resp.Err == nil && f.resp.Result != nil {
+				if f.resp.Err == nil && f.resp.Result != nil && !f.resp.Partial {
 					// Served by the leader's computation: a hit as far as
-					// this request is concerned.
-					return s.markDegraded(s.respond(st, req, f.resp.Result, true), degraded)
+					// this request is concerned. A Partial leader answer is
+					// NOT shareable — its deadline is not ours.
+					return stampPlan(s.markDegraded(s.respond(st, req, f.resp.Result, true), degraded), planned)
 				}
 				// The leader failed (its deadline, a build error): its
 				// error is not ours — loop and retry, perhaps as leader.
 				continue
 			case <-ctx.Done():
-				return s.markDegraded(s.fail(st, req, ToError(ctx.Err())), degraded)
+				return stampPlan(s.markDegraded(s.fail(st, req, ToError(ctx.Err())), degraded), planned)
 			}
 		}
 		f := &flight{done: make(chan struct{})}
 		s.inflight[key] = f
 		s.flightMu.Unlock()
 
-		resp := s.dispatch(ctx, st, req)
+		resp := s.dispatch(ctx, st, req, nil)
 
 		f.resp = resp
 		s.flightMu.Lock()
 		delete(s.inflight, key)
 		s.flightMu.Unlock()
 		close(f.done)
-		return s.markDegraded(resp, degraded)
+		return stampPlan(s.markDegraded(resp, degraded), planned)
 	}
+}
+
+// normalizeRequest is the single request-validation point of the Service
+// boundary (Query, QueryStream, Batch and Warm all funnel through it):
+// defaults applied, then every field screened with a coded
+// invalid_argument/not_found before any dispatch — no per-algorithm
+// ad-hoc handling downstream.
+func (s *Service) normalizeRequest(req *Request, st *graphState) *Error {
+	if req.Algorithm == "" {
+		req.Algorithm = s.opts.DefaultAlgorithm
+	}
+	if req.Algorithm != AlgorithmAuto && !KnownAlgorithm(req.Algorithm) {
+		return Errorf(CodeNotFound,
+			"exactsim: unknown algorithm %q (have auto, %v)", req.Algorithm, Algorithms())
+	}
+	if req.K < 0 {
+		return Errorf(CodeInvalidArgument, "exactsim: negative k %d", req.K)
+	}
+	if req.Source < 0 || int(req.Source) >= st.g.N() {
+		return Errorf(CodeInvalidArgument,
+			"exactsim: source %d out of range [0,%d)", req.Source, st.g.N())
+	}
+	// Epsilon is part of the querier and cache keys, so screen it here:
+	// a NaN key would never match itself and leak a querier slot per
+	// request (0 is the "service default" sentinel).
+	if math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) ||
+		req.Epsilon < 0 || req.Epsilon >= 1 {
+		return Errorf(CodeInvalidArgument,
+			"exactsim: epsilon %g outside (0,1) (0 = service default)", req.Epsilon)
+	}
+	if _, ok := req.Priority.rank(); !ok {
+		return Errorf(CodeInvalidArgument,
+			"exactsim: unknown priority %q (have %q, %q, %q)",
+			req.Priority, PriorityInteractive, PriorityBatch, PriorityBackground)
+	}
+	return nil
+}
+
+// stampPlan attaches the planner's audit block to the final response of
+// an "auto"-routed request. Intermediate stream records carry no Plan —
+// the terminal record is the auditable answer.
+func stampPlan(resp Response, planned *PlanInfo) Response {
+	resp.Plan = planned
+	return resp
 }
 
 // maybeDegrade substitutes a cheaper plan while the overload signal
@@ -732,7 +849,7 @@ func deadlineSpent(ctx context.Context) bool {
 	return ok && !time.Now().Before(dl)
 }
 
-func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Response {
+func (s *Service) dispatch(ctx context.Context, st *graphState, req Request, emit func(Response)) Response {
 	if s.opts.DefaultTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultTimeout)
@@ -753,7 +870,7 @@ func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Res
 
 	pri, _ := req.Priority.rank() // validated in query()
 	_, hasDeadline := ctx.Deadline()
-	job := &serviceJob{ctx: ctx, st: st, req: req, resp: make(chan Response, 1),
+	job := &serviceJob{ctx: ctx, st: st, req: req, resp: make(chan Response, 1), emit: emit,
 		pri: pri, enq: time.Now(), deadline: hasDeadline}
 	switch s.queue.push(job) {
 	case pushClosed:
@@ -762,6 +879,17 @@ func (s *Service) dispatch(ctx context.Context, st *graphState, req Request) Res
 		return s.fail(st, req, s.shedError(req.Priority))
 	}
 
+	if emit != nil || req.AllowPartial {
+		// Streaming and anytime requests wait for the worker
+		// unconditionally: the worker owns emit (returning early would
+		// race its writes) and a deadline firing mid-ladder must come
+		// back as the best-so-far answer, not as the submitter's
+		// ctx error. This cannot hang — every pushed job is answered
+		// exactly once (a worker executes it, dropJob ejects it, or the
+		// closing queue drains it), and the algorithms observe ctx
+		// internally, so a dead context still ends the wait promptly.
+		return <-job.resp
+	}
 	select {
 	case resp := <-job.resp:
 		return resp
@@ -945,12 +1073,12 @@ func (s *Service) worker() {
 			continue
 		}
 		s.inFlight.Add(1)
-		job.resp <- s.execute(job.ctx, job.st, job.req)
+		job.resp <- s.execute(job.ctx, job.st, job.req, job.emit)
 		s.inFlight.Add(-1)
 	}
 }
 
-func (s *Service) execute(ctx context.Context, st *graphState, req Request) (resp Response) {
+func (s *Service) execute(ctx context.Context, st *graphState, req Request, emit func(Response)) (resp Response) {
 	// A panicking algorithm costs its request a CodeInternal response,
 	// not the process its life: the worker must survive to drain the
 	// queue, and a fleet replica must stay pollable so the router can
@@ -961,30 +1089,122 @@ func (s *Service) execute(ctx context.Context, st *graphState, req Request) (res
 			resp = s.fail(st, req, s.recordPanic("query", v))
 		}
 	}()
+	// Anytime serving: error-driven algorithms asked to stream, or to
+	// allow a partial answer under a deadline, refine along the accuracy
+	// tier ladder instead of computing the target in one shot.
+	_, hasDeadline := ctx.Deadline()
+	if plan.ErrorDriven(req.Algorithm) && (emit != nil || (req.AllowPartial && hasDeadline)) {
+		if tiers := st.planner.Tiers(req.Epsilon); len(tiers) > 1 {
+			return s.executeLadder(ctx, st, req, emit, tiers)
+		}
+	}
 	q, err := s.querier(ctx, st, req.Algorithm, req.Epsilon)
 	if err != nil {
 		return s.fail(st, req, ToError(err))
 	}
+	start := time.Now()
 	res, err := q.SingleSource(ctx, req.Source)
 	if err != nil {
 		return s.fail(st, req, ToError(err))
 	}
-	// Fill the cache under this query's epoch — unless the world moved
-	// on mid-computation, in which case the entry could never be hit
-	// again (epochs never repeat) and would only squat in the LRU. The
-	// re-check after put closes the race with a concurrent Update whose
-	// evictIf ran between our epoch check and the insert.
-	if !req.NoCache {
-		key := cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
-			source: req.Source, epsilon: req.Epsilon}
-		if s.state.Load().epoch == st.epoch {
-			s.cache.put(key, res)
-			if s.state.Load().epoch != st.epoch {
-				s.cache.remove(key)
+	st.planner.Observe(req.Algorithm, req.Epsilon, time.Since(start))
+	s.fillCache(st, req, res)
+	return s.respond(st, req, res, false)
+}
+
+// executeLadder evaluates req coarse→target along tiers (the last tier is
+// req.Epsilon verbatim, so the terminal answer — and its cache line — is
+// byte-identical to the one-shot path). Intermediate tiers go to emit as
+// Partial records; a deadline firing mid-ladder ships the best completed
+// tier for AllowPartial requests and the plain coded error for everyone
+// else (the strict contract survives streaming).
+func (s *Service) executeLadder(ctx context.Context, st *graphState, req Request, emit func(Response), tiers []float64) Response {
+	var (
+		best    *QueryResult
+		bestEps float64 // resolved epsilon best satisfies
+		lastDur time.Duration
+		lastEps float64 // raw tier value lastDur was measured at
+	)
+	bestSoFar := func(err error) bool {
+		return best != nil && req.AllowPartial &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))
+	}
+	for i, tier := range tiers {
+		// Deadline checkpoint: before paying for a tighter tier, project
+		// its cost from the last tier's measured latency scaled by the
+		// cost model's growth ratio (×1.2 margin). A projection that
+		// overshoots the remaining budget ships best-so-far now instead
+		// of burning the remainder on work that cannot finish.
+		if best != nil && req.AllowPartial {
+			if dl, ok := ctx.Deadline(); ok {
+				need := time.Duration(1.2 * float64(lastDur) * st.planner.Growth(req.Algorithm, lastEps, tier))
+				if time.Until(dl) < need {
+					return s.partial(st, req, best, bestEps)
+				}
 			}
 		}
+		q, err := s.querier(ctx, st, req.Algorithm, tier)
+		if err != nil {
+			if bestSoFar(err) {
+				return s.partial(st, req, best, bestEps)
+			}
+			return s.fail(st, req, ToError(err))
+		}
+		start := time.Now()
+		res, err := q.SingleSource(ctx, req.Source)
+		if err != nil {
+			if bestSoFar(err) {
+				return s.partial(st, req, best, bestEps)
+			}
+			return s.fail(st, req, ToError(err))
+		}
+		dur := time.Since(start)
+		st.planner.Observe(req.Algorithm, tier, dur)
+		best, bestEps = res, st.planner.Effective(tier)
+		lastDur, lastEps = dur, tier
+		if i == len(tiers)-1 {
+			break
+		}
+		if emit != nil {
+			r := s.respond(st, req, res, false)
+			r.Partial = true
+			r.AchievedEpsilon = bestEps
+			emit(r)
+		}
 	}
-	return s.respond(st, req, res, false)
+	s.fillCache(st, req, best)
+	return s.respond(st, req, best, false)
+}
+
+// partial ships the best completed tier at a deadline: a success-shaped
+// answer flagged Partial with the error bound it actually met — the
+// anytime contract's alternative to deadline_exceeded.
+func (s *Service) partial(st *graphState, req Request, res *QueryResult, achieved float64) Response {
+	resp := s.respond(st, req, res, false)
+	resp.Partial = true
+	resp.AchievedEpsilon = achieved
+	s.partialResults.Add(1)
+	return resp
+}
+
+// fillCache inserts res under this query's epoch — unless the world moved
+// on mid-computation, in which case the entry could never be hit again
+// (epochs never repeat) and would only squat in the LRU. The re-check
+// after put closes the race with a concurrent Update whose evictIf ran
+// between our epoch check and the insert. Only complete target-accuracy
+// results belong here — partial tiers never enter the cache.
+func (s *Service) fillCache(st *graphState, req Request, res *QueryResult) {
+	if req.NoCache {
+		return
+	}
+	key := cacheKey{epoch: st.epoch, algorithm: req.Algorithm,
+		source: req.Source, epsilon: req.Epsilon}
+	if s.state.Load().epoch == st.epoch {
+		s.cache.put(key, res)
+		if s.state.Load().epoch != st.epoch {
+			s.cache.remove(key)
+		}
+	}
 }
 
 // recordPanic converts a recovered panic value into the CodeInternal
@@ -1140,6 +1360,8 @@ func (s *Service) Stats() ServiceStats {
 		DegradedQueries:    s.degradedQueries.Load(),
 		BrownoutActive:     s.queue.overloaded(),
 		QueueSojournMicros: sojourn.Microseconds(),
+		AutoPlanned:        s.autoPlanned.Load(),
+		PartialResults:     s.partialResults.Load(),
 		PanicsRecovered:    s.panics.Load(),
 	}
 	if p := s.lastPanic.Load(); p != nil {
@@ -1170,7 +1392,8 @@ func (s *Service) Graph() *Graph { return s.state.Load().g }
 func (s *Service) Epoch() uint64 { return s.state.Load().epoch }
 
 // DefaultAlgorithm returns the algorithm answering requests with an empty
-// Algorithm field.
+// Algorithm field — AlgorithmAuto unless ServiceOptions pinned a concrete
+// method.
 func (s *Service) DefaultAlgorithm() string { return s.opts.DefaultAlgorithm }
 
 // Closed reports whether Close has been called. Transports use it for

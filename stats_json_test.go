@@ -36,6 +36,8 @@ var statsTagGolden = map[string]string{
 	"DegradedQueries":    "degraded_queries",
 	"BrownoutActive":     "brownout_active",
 	"QueueSojournMicros": "queue_sojourn_us",
+	"AutoPlanned":        "auto_planned",
+	"PartialResults":     "partial_results",
 	"PanicsRecovered":    "panics_recovered",
 	"LastPanic":          "last_panic",
 }
